@@ -1,0 +1,67 @@
+"""Application-level wall-clock benchmarks (pytest-benchmark).
+
+The paper's closing question — "whether having a fast list ranking
+implementation is useful as a primitive for other major applications"
+— answered with the applications built on the library: Euler-tour tree
+measures, rake-based expression evaluation, scan-based load balancing,
+and linear recurrences, all on the host backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.euler_tour import random_parent_tree, tree_measures
+from repro.apps.load_balance import partition_list
+from repro.apps.recurrence import recurrence_list, solve_linear_recurrence
+from repro.apps.tree_contraction import (
+    evaluate_expression_tree,
+    random_expression_tree,
+)
+from repro.bench.workloads import get_valued_list
+
+N_TREE = 100_000
+N_REC = 500_000
+
+
+@pytest.mark.benchmark(group="apps")
+def test_app_euler_tour_measures(benchmark):
+    parent = random_parent_tree(N_TREE, rng=0)
+    rng = np.random.default_rng(0)
+    result = benchmark(
+        lambda: tree_measures(parent, algorithm="sublist", rng=rng)
+    )
+    assert result["subtree_size"][0] == N_TREE
+
+
+@pytest.mark.benchmark(group="apps")
+def test_app_expression_evaluation(benchmark):
+    tree = random_expression_tree(20_000, rng=0, value_low=0.9, value_high=1.1)
+    rng = np.random.default_rng(0)
+    got = benchmark(
+        lambda: evaluate_expression_tree(tree, algorithm="sublist", rng=rng)
+    )
+    assert got == pytest.approx(tree.evaluate_serial(), rel=1e-6)
+
+
+@pytest.mark.benchmark(group="apps")
+def test_app_load_balancing(benchmark):
+    lst = get_valued_list(N_REC)
+    weights = np.abs(lst.values) + 1
+    from repro.lists.generate import LinkedList
+
+    work = LinkedList(lst.next, lst.head, weights)
+    rng = np.random.default_rng(0)
+    owner = benchmark(lambda: partition_list(work, 16, rng=rng))
+    assert owner.max() == 15
+
+
+@pytest.mark.benchmark(group="apps")
+def test_app_linear_recurrence(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0.9, 1.1, N_REC)
+    b = rng.uniform(-0.5, 0.5, N_REC)
+    lst = recurrence_list(a, b, order=rng.permutation(N_REC))
+    xs = benchmark(lambda: solve_linear_recurrence(lst, x0=1.0, rng=rng))
+    assert np.isfinite(xs).all()

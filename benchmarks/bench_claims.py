@@ -1,0 +1,92 @@
+"""Headline quantitative claims from the abstract / Sections 1 and 6.
+
+* "On a single processor it also achieves a factor of four speed up
+  over a serial list scan on the CRAY C-90."
+* "We obtain an addition[al] 6.7 speedup on 8 processors."
+* "it achieves over two orders of magnitude speedup over a DECstation
+  5000 workstation."
+* "if the vectorized algorithm does twice as much work as the serial
+  code … the best you can expect is a 6-9 fold speedup on one
+  processor" — our 1-CPU speedup must respect that ceiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import K, get_random_list
+from repro.machine.config import DECSTATION_5000
+from repro.machine.vm import VectorVM
+from repro.simulate.serial_sim import serial_rank_sim
+from repro.simulate.sublist_sim import sublist_rank_sim
+
+from conftest import FULL
+
+N = (32768 if FULL else 4096) * K
+
+
+def _headline():
+    lst = get_random_list(N)
+    serial = serial_rank_sim(lst)
+    one = sublist_rank_sim(lst, n_processors=1, rng=0)
+    eight = sublist_rank_sim(lst, n_processors=8, rng=0)
+    dec = VectorVM(DECSTATION_5000)
+    dec.scalar_traverse(N)
+    return {
+        "serial_ns": serial.ns_per_element,
+        "one_ns": one.ns_per_element,
+        "eight_ns": eight.ns_per_element,
+        "dec_ns": dec.time_ns / N,
+    }
+
+
+@pytest.mark.benchmark(group="claims")
+def test_headline_claims(benchmark):
+    h = benchmark.pedantic(_headline, rounds=1, iterations=1)
+    print_table(
+        ["configuration", "ns/element"],
+        [
+            ["DECstation 5000 serial", h["dec_ns"]],
+            ["C-90 serial", h["serial_ns"]],
+            ["C-90 ours, 1 CPU", h["one_ns"]],
+            ["C-90 ours, 8 CPUs", h["eight_ns"]],
+        ],
+        title=f"Headline claims at n = {N // K}K",
+    )
+
+    v1 = h["serial_ns"] / h["one_ns"]
+    record(
+        "claims",
+        "1-CPU speedup over C-90 serial (paper: ≈4×)",
+        4.0,
+        v1,
+        "×",
+        ok=3.0 < v1 < 9.0,
+    )
+    record(
+        "claims",
+        "1-CPU speedup within the gather/scatter ceiling (paper: 6–9× max)",
+        9.0,
+        v1,
+        "×",
+        ok=v1 <= 9.0,
+    )
+    v8 = h["one_ns"] / h["eight_ns"]
+    record(
+        "claims",
+        "additional speedup on 8 CPUs (paper: 6.7×)",
+        6.7,
+        v8,
+        "×",
+        ok=4.5 < v8 <= 8.0,
+    )
+    dec_factor = h["dec_ns"] / h["eight_ns"]
+    record(
+        "claims",
+        "vs DECstation 5000 (paper: over two orders of magnitude)",
+        100.0,
+        dec_factor,
+        "×",
+        ok=dec_factor >= 50.0,
+    )

@@ -1,0 +1,115 @@
+"""Figure 1 — execution time per element of five list-ranking algorithms
+on one (simulated) Cray C-90 processor.
+
+Paper series (ns/element, 8K … 32768K): Miller/Reif highest
+(≈1000 ns), then Anderson/Miller, then Wyllie (rising with log n,
+sawtoothed), the flat serial line (≈143 ns), and our algorithm lowest
+at large n (dropping toward ≈36 ns).  The qualitative content — the
+ordering at large n, Wyllie's growth, the ours-vs-serial crossover in
+the few-K range — is what this bench regenerates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import K, get_random_list
+from repro.simulate.contraction_sim import (
+    anderson_miller_scan_sim,
+    random_mate_scan_sim,
+)
+from repro.simulate.serial_sim import serial_rank_sim
+from repro.simulate.sublist_sim import sublist_rank_sim
+from repro.simulate.wyllie_sim import wyllie_rank_sim
+
+from conftest import FULL
+
+SIZES_K = [8, 32, 128, 512, 2048] + ([8192, 32768] if FULL else [])
+
+
+def _series():
+    rows = []
+    for size_k in SIZES_K:
+        n = size_k * K
+        lst = get_random_list(n)
+        ours = sublist_rank_sim(lst, rng=0).ns_per_element
+        wyllie = wyllie_rank_sim(lst).ns_per_element
+        serial = serial_rank_sim(lst).ns_per_element
+        rm = random_mate_scan_sim(lst, rng=0).ns_per_element
+        am = anderson_miller_scan_sim(lst, rng=0).ns_per_element
+        rows.append([f"{size_k}K", rm, am, wyllie, serial, ours])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_five_algorithm_sweep(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    print_table(
+        ["n", "Miller/Reif", "Anderson/Miller", "Wyllie", "Serial", "Blelloch/Reid-Miller"],
+        rows,
+        title="Figure 1: ns per element, 1 simulated C-90 CPU",
+    )
+    last = rows[-1]
+    rm, am, wyllie, serial, ours = last[1:]
+    record(
+        "fig01",
+        f"ours at {last[0]} (paper → ≈36 ns/elem at 32768K)",
+        36.0,
+        ours,
+        "ns/elem",
+        ok=ours < serial,
+    )
+    record(
+        "fig01",
+        "serial flat line (paper ≈143 ns/elem)",
+        143.0,
+        serial,
+        "ns/elem",
+        ok=abs(serial - 143) / 143 < 0.1,
+    )
+    record(
+        "fig01",
+        "ordering at large n: ours < serial < AM < RM",
+        None,
+        float(ours < serial < am < rm),
+        "",
+        ok=ours < serial < am < rm,
+    )
+    # Wyllie's work inefficiency: rising ns/elem across the sweep
+    wyllie_series = [r[3] for r in rows]
+    record(
+        "fig01",
+        "Wyllie degrades with n (paper: 'quickly degrades')",
+        None,
+        wyllie_series[-1] / wyllie_series[0],
+        "× growth",
+        ok=wyllie_series[-1] > wyllie_series[0],
+    )
+
+
+@pytest.mark.benchmark(group="fig01-crossover")
+def test_fig01_wyllie_crossover(benchmark):
+    """Paper: "For lists shorter than 7000 elements Wyllie's algorithm
+    is faster than ours."  Locate our crossover."""
+
+    def crossover():
+        lo = None
+        for n in [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]:
+            lst = get_random_list(n)
+            ours = sublist_rank_sim(lst, rng=0).cycles
+            wy = wyllie_rank_sim(lst).cycles
+            if wy > ours and lo is None:
+                lo = n
+        return lo or 10**9
+
+    cross = benchmark.pedantic(crossover, rounds=1, iterations=1)
+    record(
+        "fig01",
+        "ours-vs-Wyllie crossover (paper ≈7000 elements)",
+        7000.0,
+        float(cross),
+        "elements",
+        ok=cross <= 65536,
+        note="(our constants differ; same qualitative crossover)",
+    )

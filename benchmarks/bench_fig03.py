@@ -1,0 +1,88 @@
+"""Figure 3 — Wyllie's algorithm on 1, 2, 4, 8 processors.
+
+Two signatures: (a) the *sawtooth* — per-element time jumps whenever
+⌈log(n−1)⌉ increases, then drifts down as the constants amortize; and
+(b) near-linear scaling with processor count ("it does scale linearly
+with the number of processors") with the one-processor version winning
+on small lists (no multitasking overhead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import get_random_list
+from repro.simulate.wyllie_sim import wyllie_rank_sim
+
+from conftest import FULL
+
+# dense sizes to expose the sawtooth: powers of two ±1 and midpoints;
+# the paper's Figure 3 sweeps 16 … 4M, where the smallest sizes show
+# the one-processor version winning (no multitasking overhead)
+_BASE = [1 << k for k in range(7, 22 if FULL else 20)]
+SIZES = sorted(
+    {n for b in _BASE for n in (b - 1, b + 2, b + (b >> 1))}
+)
+PROCS = [1, 2, 4, 8]
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        lst = get_random_list(n)
+        per_p = [
+            wyllie_rank_sim(lst, n_processors=p).ns_per_element for p in PROCS
+        ]
+        rows.append([n] + per_p)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_wyllie_multiprocessor(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["n"] + [f"p={p}" for p in PROCS],
+        rows,
+        title="Figure 3: Wyllie ns per element on 1/2/4/8 simulated CPUs",
+    )
+    data = np.asarray([r[1:] for r in rows], dtype=np.float64)
+    ns = np.asarray([r[0] for r in rows], dtype=np.float64)
+
+    # (a) sawtooth on one CPU: per-element time is NOT monotone — it
+    # jumps right after each power of two
+    p1 = data[:, 0]
+    jumps = 0
+    for i in range(len(SIZES) - 1):
+        if ns[i + 1] > ns[i] and p1[i + 1] > p1[i] * 1.02:
+            jumps += 1
+    record(
+        "fig03",
+        "sawtooth: upward jumps in 1-CPU curve (paper: one per ⌈log n−1⌉ step)",
+        None,
+        float(jumps),
+        "jumps",
+        ok=jumps >= len(_BASE) - 2,
+    )
+
+    # (b) near-linear processor scaling at the largest size
+    speedup8 = data[-1, 0] / data[-1, 3]
+    record(
+        "fig03",
+        "Wyllie 8-CPU speedup at largest n (paper: ≈linear)",
+        8.0,
+        speedup8,
+        "×",
+        ok=speedup8 > 5.0,
+    )
+
+    # (c) one CPU wins on small lists (no multitasking overhead)
+    record(
+        "fig03",
+        "1 CPU faster than 8 CPUs on the smallest list",
+        None,
+        data[0, 0] / data[0, 3],
+        "× (should be <1)",
+        ok=data[0, 0] < data[0, 3],
+    )

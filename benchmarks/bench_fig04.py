@@ -1,0 +1,72 @@
+"""Figure 4 — relative speedup of the sublist algorithm vs processors.
+
+Paper: speedup curves for n = 8K, 128K and 2M over 1–8 processors; the
+2M curve reaches ≈6.7 at 8 CPUs while 8K saturates early (the
+constants and Phase 2 don't parallelize).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import K, get_random_list
+from repro.simulate.sublist_sim import sublist_rank_sim
+
+SIZES_K = [8, 128, 2048]
+PROCS = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def _speedups():
+    table = {}
+    for size_k in SIZES_K:
+        n = size_k * K
+        lst = get_random_list(n)
+        base = sublist_rank_sim(lst, n_processors=1, rng=0).cycles
+        table[size_k] = [
+            base / sublist_rank_sim(lst, n_processors=p, rng=0).cycles
+            for p in PROCS
+        ]
+    return table
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_relative_speedup(benchmark):
+    table = benchmark.pedantic(_speedups, rounds=1, iterations=1)
+    rows = [
+        [p] + [table[size_k][i] for size_k in SIZES_K]
+        for i, p in enumerate(PROCS)
+    ]
+    print_table(
+        ["p"] + [f"n={size_k}K" for size_k in SIZES_K],
+        rows,
+        title="Figure 4: relative speedup of the sublist algorithm",
+    )
+    s8_2m = table[2048][-1]
+    record(
+        "fig04",
+        "speedup at p=8, n=2M (paper: ≈6.5–6.7)",
+        6.7,
+        s8_2m,
+        "×",
+        ok=4.5 < s8_2m <= 8.0,
+    )
+    # larger problems scale better (paper's n=8K curve flattens)
+    record(
+        "fig04",
+        "larger n scales better: s8(2M) > s8(128K) > s8(8K)",
+        None,
+        float(table[2048][-1] > table[128][-1] > table[8][-1]),
+        "",
+        ok=table[2048][-1] > table[128][-1] > table[8][-1],
+    )
+    # monotone in p for the big size
+    mono = all(a <= b * 1.02 for a, b in zip(table[2048], table[2048][1:]))
+    record(
+        "fig04",
+        "speedup monotone in p at n=2M",
+        None,
+        float(mono),
+        "",
+        ok=mono,
+    )

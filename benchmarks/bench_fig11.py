@@ -1,0 +1,78 @@
+"""Figure 11 — expected vs observed sublist length order statistics.
+
+Paper: for n = 1000 and m ∈ {100, 150, 200, 250}, the analytic expected
+length of the i-th shortest sublist (the exponential order-statistic
+formula of Section 4.1) is overlaid on averages of 20 random splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    empirical_order_stats,
+    expected_longest,
+    expected_order_stat,
+)
+from repro.bench.harness import print_table, record
+
+N = 1000
+MS = [100, 150, 200, 250]
+SAMPLES = 20
+
+
+def _compare():
+    out = {}
+    rng = np.random.default_rng(11)
+    for m in MS:
+        obs = empirical_order_stats(N, m, samples=SAMPLES, rng=rng)
+        idx = np.arange(1, m + 2)
+        exp = expected_order_stat(idx, N, m)
+        # median relative error over the central 80% of order indices
+        sel = slice(m // 10, -max(m // 10, 1))
+        rel = np.abs(obs["mean"][sel] - exp[sel]) / np.maximum(exp[sel], 1.0)
+        out[m] = {
+            "median_rel_err": float(np.median(rel)),
+            "observed_longest": float(obs["mean"][-1]),
+            "expected_longest": float(expected_longest(N, m)),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_order_statistics(benchmark):
+    stats = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    rows = [
+        [
+            m,
+            stats[m]["expected_longest"],
+            stats[m]["observed_longest"],
+            100 * stats[m]["median_rel_err"],
+        ]
+        for m in MS
+    ]
+    print_table(
+        ["m", "E[longest] (model)", "longest (20-sample mean)", "median rel err %"],
+        rows,
+        title=f"Figure 11: sublist order statistics, n={N}, {SAMPLES} samples",
+    )
+    for m in MS:
+        record(
+            "fig11",
+            f"order-statistic model tracks data (m={m})",
+            0.0,
+            stats[m]["median_rel_err"],
+            "median rel err",
+            ok=stats[m]["median_rel_err"] < 0.25,
+        )
+    # paper's visual: larger m → shorter longest sublist, less variation
+    longest = [stats[m]["observed_longest"] for m in MS]
+    record(
+        "fig11",
+        "longest sublist shrinks as m grows",
+        None,
+        float(all(a > b for a, b in zip(longest, longest[1:]))),
+        "",
+        ok=all(a > b for a, b in zip(longest, longest[1:])),
+    )

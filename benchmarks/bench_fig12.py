@@ -1,0 +1,87 @@
+"""Figure 12 — g(s) and the optimal pack-schedule step function.
+
+Paper: for n = 10000, m = 200 and 11 packs (S₁ = 14.7), the optimal
+pack points sit under the decaying g(s) = m·e^(−ms/n) with spacing that
+widens over time; the area between the step function and g(s) is the
+wasted tail-chasing work the schedule minimizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_model import phase13_time_from_schedule
+from repro.analysis.distribution import expected_live_sublists
+from repro.bench.harness import print_table, record
+from repro.core.schedule import optimal_schedule, uniform_schedule
+
+N, M, S1 = 10_000, 200, 14.7
+
+
+def _schedule_report():
+    sch = optimal_schedule(N, M, S1)
+    g_at = expected_live_sublists(sch, N, M)
+    t_opt = phase13_time_from_schedule(N, M, sch)
+    t_uni = phase13_time_from_schedule(N, M, uniform_schedule(N, M, len(sch)))
+    # wasted work: steps executed on sublists that are already finished
+    pts = np.concatenate(([0.0], sch))
+    executed = float(
+        np.sum(np.diff(pts) * expected_live_sublists(pts[:-1], N, M))
+    )
+    return {
+        "schedule": sch,
+        "g_at": g_at,
+        "t_opt": t_opt,
+        "t_uni": t_uni,
+        "executed": executed,
+    }
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_pack_schedule(benchmark):
+    rep = benchmark.pedantic(_schedule_report, rounds=1, iterations=1)
+    sch, g_at = rep["schedule"], rep["g_at"]
+    rows = [
+        [i + 1, float(s), float(g)]
+        for i, (s, g) in enumerate(zip(sch, g_at))
+    ]
+    print_table(
+        ["pack #", "S_i (steps)", "g(S_i) live sublists"],
+        rows,
+        title=f"Figure 12: optimal pack schedule, n={N}, m={M}, S1={S1}",
+    )
+    record(
+        "fig12",
+        "number of packs (paper: 11)",
+        11.0,
+        float(len(sch)),
+        "packs",
+        ok=9 <= len(sch) <= 13,
+    )
+    gaps = np.diff(np.concatenate(([0.0], sch)))
+    record(
+        "fig12",
+        "pack gaps widen over time (paper: 'increasingly further apart')",
+        None,
+        float(np.all(np.diff(gaps) >= -1e-9)),
+        "",
+        ok=bool(np.all(np.diff(gaps) >= -1e-9)),
+    )
+    # executed work ≥ n (can't do better) but within a modest factor
+    record(
+        "fig12",
+        "traversal work vs lower bound n (area under step function)",
+        1.0,
+        rep["executed"] / N,
+        "× n",
+        ok=1.0 <= rep["executed"] / N < 1.6,
+    )
+    record(
+        "fig12",
+        "optimal schedule beats uniform at same pack count",
+        None,
+        rep["t_uni"] / rep["t_opt"],
+        "× slower (uniform)",
+        ok=rep["t_uni"] > rep["t_opt"],
+    )

@@ -1,0 +1,66 @@
+"""Figure 13 — the geometric optimality condition of the pack points.
+
+Paper Eq. 5: at each interior pack point the slope of g equals the
+slope of the secant through (S_{i−1}, g(S_{i−1})) and the c/a-shifted
+next point.  This bench verifies the condition numerically on the
+Eq. 6-generated schedule and confirms it matches an independent direct
+minimization of the Eq. 4 objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_model import phase13_time_from_schedule
+from repro.bench.harness import print_table, record
+from repro.core.schedule import (
+    numeric_optimal_schedule,
+    optimal_schedule,
+    slope_condition_residuals,
+)
+
+N, M, S1 = 10_000, 200, 14.7
+
+
+def _verify():
+    sch = optimal_schedule(N, M, S1, guard="none")
+    res = slope_condition_residuals(sch, N, M)
+    num = numeric_optimal_schedule(N, M, len(sch))
+    res_num = slope_condition_residuals(num, N, M)
+    t_rec = phase13_time_from_schedule(N, M, sch)
+    t_num = phase13_time_from_schedule(N, M, num)
+    return sch, res, num, res_num, t_rec, t_num
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_slope_condition(benchmark):
+    sch, res, num, res_num, t_rec, t_num = benchmark.pedantic(
+        _verify, rounds=1, iterations=1
+    )
+    rows = [
+        [i + 1, float(sch[i]), float(num[i]), float(res[i]) if i < len(res) else 0.0]
+        for i in range(len(sch))
+    ]
+    print_table(
+        ["i", "S_i (Eq. 6)", "S_i (direct minimization)", "Eq. 5 residual"],
+        rows,
+        title="Figure 13: optimality condition at each pack point",
+    )
+    interior = np.abs(res[:-1]) if len(res) > 1 else np.abs(res)
+    record(
+        "fig13",
+        "max |Eq. 5 residual| at interior points (should be ≈0)",
+        0.0,
+        float(interior.max()) if interior.size else 0.0,
+        "",
+        ok=bool(interior.size == 0 or interior.max() < 1e-6),
+    )
+    record(
+        "fig13",
+        "Eq. 6 schedule time vs direct minimization",
+        1.0,
+        t_rec / t_num,
+        "ratio",
+        ok=t_rec <= t_num * 1.05,
+    )

@@ -1,0 +1,79 @@
+"""Figure 14 — predicted vs measured performance of the vectorized
+LIST_SCAN on one processor.
+
+Paper: the Eq. 3/7 model, evaluated at the tuned (m, S₁), tracks the
+measured curve closely across 8K…32768K, and "the running time
+decreases until it reaches an asymptote of about 8.6 clocks per
+element" (≈36 ns at 4.2 ns/clock).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.predict import predict_run
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import K, get_random_list
+from repro.simulate.sublist_sim import SimSublistConfig, sublist_rank_sim
+
+from conftest import FULL
+
+SIZES_K = [8, 32, 128, 512, 2048] + ([8192, 32768] if FULL else [])
+
+
+def _predicted_vs_measured():
+    rows = []
+    for size_k in SIZES_K:
+        n = size_k * K
+        pred = predict_run(n)
+        lst = get_random_list(n)
+        cfg = SimSublistConfig(m=pred.m, s1=pred.s1)
+        meas = sublist_rank_sim(lst, sim_config=cfg, rng=0)
+        rows.append(
+            [
+                f"{size_k}K",
+                pred.m,
+                pred.ns_per_element,
+                meas.ns_per_element,
+                meas.cycles_per_element,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_predicted_vs_measured(benchmark):
+    rows = benchmark.pedantic(_predicted_vs_measured, rounds=1, iterations=1)
+    print_table(
+        ["n", "tuned m", "predicted ns/el", "measured ns/el", "measured clk/el"],
+        rows,
+        title="Figure 14: predicted vs measured, 1 simulated C-90 CPU",
+    )
+    # prediction accuracy across the sweep
+    worst = max(abs(r[3] - r[2]) / r[2] for r in rows)
+    record(
+        "fig14",
+        "max |measured−predicted|/predicted (paper: 'accurate predictor')",
+        0.0,
+        worst,
+        "rel err",
+        ok=worst < 0.35,
+    )
+    # the falling curve and the asymptote
+    per_elem = [r[4] for r in rows]
+    record(
+        "fig14",
+        "clk/element at largest n (paper asymptote ≈8.6)",
+        8.6,
+        per_elem[-1],
+        "clk/el",
+        ok=8.0 <= per_elem[-1] <= 12.0,
+    )
+    record(
+        "fig14",
+        "per-element time decreases with n",
+        None,
+        float(per_elem[-1] < per_elem[0]),
+        "",
+        ok=per_elem[-1] < per_elem[0],
+    )

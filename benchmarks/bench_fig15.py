@@ -1,0 +1,81 @@
+"""Figure 15 — the sublist algorithm on 1, 2, 4, 8 dedicated processors.
+
+Paper: ns/element falls with n for every processor count; the curves
+separate cleanly (more CPUs → faster) for large n while the 1-CPU
+version wins on small lists; 8 CPUs reach ≈5.4 ns/element (6.7×).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import K, get_random_list
+from repro.simulate.serial_sim import serial_rank_sim
+from repro.simulate.sublist_sim import sublist_rank_sim
+
+from conftest import FULL
+
+SIZES_K = [8, 32, 128, 512, 2048] + ([8192, 32768] if FULL else [])
+PROCS = [1, 2, 4, 8]
+
+
+def _sweep():
+    rows = []
+    for size_k in SIZES_K:
+        n = size_k * K
+        lst = get_random_list(n)
+        serial = serial_rank_sim(lst).ns_per_element
+        per_p = [
+            sublist_rank_sim(lst, n_processors=p, rng=0).ns_per_element
+            for p in PROCS
+        ]
+        rows.append([f"{size_k}K", serial] + per_p)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_multiprocessor_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        ["n", "serial"] + [f"p={p}" for p in PROCS],
+        rows,
+        title="Figure 15: sublist algorithm ns per element, 1–8 CPUs",
+    )
+    last = rows[-1]
+    serial, p_vals = last[1], last[2:]
+    record(
+        "fig15",
+        "8-CPU ns/element at largest n (paper: ≈5.4 ns at 32768K)",
+        5.4,
+        p_vals[-1],
+        "ns/el",
+        ok=p_vals[-1] < 12.0,
+    )
+    record(
+        "fig15",
+        "CPU curves ordered at large n (more CPUs → faster)",
+        None,
+        float(all(a > b for a, b in zip(p_vals, p_vals[1:]))),
+        "",
+        ok=all(a > b for a, b in zip(p_vals, p_vals[1:])),
+    )
+    record(
+        "fig15",
+        "8 CPUs vs serial at largest n (paper: ≈26×)",
+        26.0,
+        serial / p_vals[-1],
+        "×",
+        ok=serial / p_vals[-1] > 10.0,
+    )
+    # small lists: multiprocessing overhead visible (1 CPU competitive)
+    first_p = np.asarray(rows[0][2:], dtype=np.float64)
+    record(
+        "fig15",
+        "1 CPU beats 8 CPUs on the smallest list (multitasking overhead)",
+        None,
+        first_p[0] / first_p[-1],
+        "× (should be <1)",
+        ok=first_p[0] < first_p[-1],
+    )

@@ -1,0 +1,80 @@
+"""Section 3 — the per-kernel timing equations.
+
+The paper fits every subroutine to ``T(x) = a·x + b`` clocks.  This
+bench (a) prints the machine model's derived equations next to the
+paper's, and (b) *measures* the two hot kernels from actual simulated
+runs — fitting (a, b) to the phase-1/phase-3 traversal step costs
+recorded by the simulator — to confirm the simulation reproduces the
+equations it was derived from end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import print_table, record
+from repro.bench.workloads import get_random_list
+from repro.machine.calibration import compare_with_paper, derive_rates
+from repro.machine.config import CRAY_C90
+from repro.simulate.sublist_sim import sublist_rank_sim
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_section3_kernel_equations(benchmark):
+    table = benchmark.pedantic(
+        lambda: compare_with_paper(CRAY_C90), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            f"{row['paper_a']:.1f}x + {row['paper_b']:.0f}",
+            f"{row['model_a']:.2f}x + {row['model_b']:.0f}",
+            100 * row["rel_err_a"],
+        ]
+        for name, row in table.items()
+    ]
+    print_table(
+        ["kernel", "paper equation", "model equation", "slope err %"],
+        rows,
+        title="Section 3: kernel timing equations (clocks)",
+    )
+    worst = max(row["rel_err_a"] for row in table.values())
+    record(
+        "kernels",
+        "worst kernel slope error vs paper equations",
+        0.0,
+        worst,
+        "rel err",
+        ok=worst < 0.15,
+    )
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_phase_costs_scale_with_n(benchmark):
+    """End-to-end check: phase-1 + phase-3 cycles grow ≈ linearly in n
+    with slope ≈ a = 8.4 (the combined rank slope)."""
+
+    def run():
+        sizes = [1 << 16, 1 << 18, 1 << 20]
+        totals = []
+        for n in sizes:
+            res = sublist_rank_sim(get_random_list(n), rng=0)
+            totals.append(res.breakdown["phase1"] + res.breakdown["phase3"])
+        return np.asarray(sizes, dtype=float), np.asarray(totals)
+
+    sizes, totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    slope = np.polyfit(sizes, totals, 1)[0]
+    print_table(
+        ["n", "phase1+3 clocks", "clocks/elem"],
+        [[int(n), t, t / n] for n, t in zip(sizes, totals)],
+        title="Phases 1+3 cost vs n (paper slope a = 8.4 clk/elem)",
+    )
+    record(
+        "kernels",
+        "phase-1+3 marginal cost per element (paper a = 8.4)",
+        8.4,
+        float(slope),
+        "clk/elem",
+        ok=7.0 < slope < 11.0,
+    )

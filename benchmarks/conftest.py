@@ -1,0 +1,38 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every module regenerates one table or figure of Reid-Miller &
+Blelloch (1994).  Benchmarks print their regenerated rows/series
+directly (run pytest with ``-s`` to see them mid-run; the
+paper-vs-measured summary prints at the end of the session either
+way).
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — extend the sweeps to the paper's largest
+  sizes (32768K elements).  Default sweeps stop around 2M elements to
+  keep a full benchmark run under a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import all_records, summary_lines
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    records = all_records()
+    if not records:
+        return
+    terminalreporter.write_sep("=", "paper vs measured (EXPERIMENTS.md summary)")
+    for line in summary_lines():
+        terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def full_sweep() -> bool:
+    return FULL

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline measurements on the simulated C-90.
+
+Runs the five list-ranking algorithms on the cycle-cost simulator and
+prints a miniature of Figures 1 and 15: ns/element per algorithm on one
+CPU across list lengths, and the sublist algorithm's multiprocessor
+scaling.
+
+Run:  python examples/cray_c90_reproduction.py
+"""
+
+import numpy as np
+
+from repro import (
+    CRAY_C90,
+    anderson_miller_scan_sim,
+    random_list,
+    random_mate_scan_sim,
+    serial_scan_sim,
+    sublist_rank_sim,
+    sublist_scan_sim,
+    wyllie_scan_sim,
+)
+
+K = 1024
+
+
+def figure1_mini() -> None:
+    print(f"=== Figure 1 (mini): ns/element on one simulated {CRAY_C90.name} CPU ===")
+    header = f"{'n':>8} {'Miller/Reif':>12} {'And./Miller':>12} {'Wyllie':>8} {'Serial':>8} {'ours':>8}"
+    print(header)
+    for size_k in (8, 64, 512, 2048):
+        n = size_k * K
+        lst = random_list(n, np.random.default_rng(size_k))
+        rm = random_mate_scan_sim(lst, rng=0).ns_per_element
+        am = anderson_miller_scan_sim(lst, rng=0).ns_per_element
+        wy = wyllie_scan_sim(lst).ns_per_element
+        se = serial_scan_sim(lst).ns_per_element
+        ours = sublist_scan_sim(lst, rng=0).ns_per_element
+        print(f"{size_k:>7}K {rm:12.0f} {am:12.0f} {wy:8.0f} {se:8.0f} {ours:8.1f}")
+    print()
+
+
+def figure15_mini() -> None:
+    print("=== Figure 15 (mini): the sublist algorithm on 1–8 CPUs ===")
+    n = 2048 * K
+    lst = random_list(n, np.random.default_rng(0))
+    base = None
+    print(f"{'CPUs':>5} {'ns/element':>11} {'speedup':>8}")
+    for p in (1, 2, 4, 8):
+        res = sublist_rank_sim(lst, n_processors=p, rng=0)
+        base = base or res.cycles
+        print(f"{p:>5} {res.ns_per_element:>11.2f} {base / res.cycles:>8.2f}")
+    print()
+    res = sublist_rank_sim(lst, n_processors=8, rng=0)
+    print("8-CPU cycle breakdown:")
+    for name, cycles in sorted(res.breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"   {name:<18} {cycles:>12.0f} clocks "
+              f"({100 * cycles / res.cycles:4.1f}%)")
+
+
+if __name__ == "__main__":
+    figure1_mini()
+    figure15_mini()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figure data as CSV files.
+
+Writes one CSV per figure into ``figures/`` (no plotting dependencies;
+load them with any tool).  Equivalent to ``python -m repro figures``.
+
+Run:  python examples/make_figures.py [out_dir]
+"""
+
+import sys
+
+from repro.bench.figures import ALL_FIGURES
+
+
+def main(out_dir: str = "figures") -> None:
+    for name in sorted(ALL_FIGURES):
+        print(f"generating {name} …", flush=True)
+        data = ALL_FIGURES[name](out_dir=out_dir)
+        print(f"  {len(data['rows'])} rows: {', '.join(data['header'])}")
+    print(f"\nCSV series written to {out_dir}/")
+    print("Each file matches one figure of Reid-Miller & Blelloch (1994);")
+    print("see EXPERIMENTS.md for the paper-vs-measured comparison.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

@@ -1,0 +1,177 @@
+"""repro — List Ranking and List Scan on the (simulated) Cray C-90.
+
+A full reproduction of Reid-Miller & Blelloch, *List Ranking and List
+Scan on the Cray C-90* (CMU-CS-94-101, SPAA 1994): the work-efficient
+sublist list-scan algorithm, the four comparison algorithms (serial,
+Wyllie, Miller/Reif random mate, Anderson/Miller), the Section 4
+analytical performance model (sublist-length distribution, optimal
+pack schedules, parameter tuning), and a cycle-cost simulator of the
+Cray C-90 vector multiprocessor that regenerates every figure and
+table of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import random_list, list_rank, list_scan
+
+    lst = random_list(1_000_000, rng=0)
+    ranks = list_rank(lst)                 # position of each node
+    sums = list_scan(lst, "sum")           # exclusive prefix sums
+
+Simulated Cray C-90 run::
+
+    from repro import sublist_scan_sim, CRAY_C90
+
+    result = sublist_scan_sim(lst, n_processors=8)
+    print(result.ns_per_element, "ns/element on", result.config.name)
+"""
+
+from .analysis.cost_model import KernelCosts, PAPER_C90_COSTS
+from .analysis.distribution import (
+    expected_live_sublists,
+    expected_longest,
+    expected_order_stat,
+)
+from .analysis.predict import predict_curve, predict_run
+from .apps.euler_tour import build_euler_tour, random_parent_tree, tree_measures
+from .apps.load_balance import partition_list
+from .apps.recurrence import recurrence_list, solve_linear_recurrence
+from .apps.reorder import list_to_array, scan_via_reorder
+from .apps.tree_contraction import (
+    ExpressionTree,
+    evaluate_expression_tree,
+    random_expression_tree,
+)
+from .baselines.anderson_miller import anderson_miller_list_scan
+from .baselines.random_mate import random_mate_list_scan
+from .baselines.serial import serial_list_rank, serial_list_scan
+from .baselines.wyllie import wyllie_list_rank, wyllie_list_scan
+from .core.list_scan import ALGORITHMS, list_rank, list_scan
+from .core.operators import (
+    AFFINE,
+    AND,
+    MAX,
+    MIN,
+    OR,
+    PROD,
+    SUM,
+    XOR,
+    Operator,
+    get_operator,
+)
+from .analysis.extensions import early_reconnect_advantage, with_half_length
+from .core.early_reconnect import early_reconnect_list_scan
+from .core.forest import forest_list_scan
+from .core.segmented import segmented_list_scan, segmented_operator
+from .core.schedule import optimal_schedule, uniform_schedule
+from .core.stats import ScanStats
+from .core.sublist import SublistConfig, sublist_list_rank, sublist_list_scan
+from .core.tuning import fit_polylog, tuned_parameters
+from .lists.convert import rank_to_order, reorder_by_rank
+from .lists.generate import (
+    LinkedList,
+    blocked_list,
+    from_order,
+    ordered_list,
+    pathological_bank_list,
+    random_list,
+    reversed_list,
+)
+from .lists.validate import ListStructureError, is_valid_list, validate_list_strict
+from .machine.config import CRAY_C90, CRAY_YMP, DECSTATION_5000, MachineConfig
+from .machine.vm import VectorVM
+from .simulate.contraction_sim import anderson_miller_scan_sim, random_mate_scan_sim
+from .simulate.result import SimResult
+from .simulate.serial_sim import serial_scan_sim
+from .simulate.sublist_sim import SimSublistConfig, sublist_rank_sim, sublist_scan_sim
+from .simulate.wyllie_sim import wyllie_rank_sim, wyllie_scan_sim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # lists
+    "LinkedList",
+    "random_list",
+    "ordered_list",
+    "reversed_list",
+    "blocked_list",
+    "pathological_bank_list",
+    "from_order",
+    "rank_to_order",
+    "reorder_by_rank",
+    "validate_list_strict",
+    "is_valid_list",
+    "ListStructureError",
+    # operators
+    "Operator",
+    "get_operator",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "XOR",
+    "AND",
+    "OR",
+    "AFFINE",
+    # core API
+    "list_scan",
+    "list_rank",
+    "ALGORITHMS",
+    "ScanStats",
+    "SublistConfig",
+    "sublist_list_scan",
+    "sublist_list_rank",
+    "optimal_schedule",
+    "uniform_schedule",
+    "tuned_parameters",
+    "fit_polylog",
+    # baselines
+    "serial_list_scan",
+    "serial_list_rank",
+    "wyllie_list_scan",
+    "wyllie_list_rank",
+    "random_mate_list_scan",
+    "anderson_miller_list_scan",
+    # analysis
+    "KernelCosts",
+    "PAPER_C90_COSTS",
+    "expected_live_sublists",
+    "expected_longest",
+    "expected_order_stat",
+    "predict_run",
+    "predict_curve",
+    # machine + simulation
+    "MachineConfig",
+    "CRAY_C90",
+    "CRAY_YMP",
+    "DECSTATION_5000",
+    "VectorVM",
+    "SimResult",
+    "SimSublistConfig",
+    "serial_scan_sim",
+    "wyllie_scan_sim",
+    "wyllie_rank_sim",
+    "sublist_scan_sim",
+    "sublist_rank_sim",
+    "random_mate_scan_sim",
+    "anderson_miller_scan_sim",
+    # extensions
+    "early_reconnect_list_scan",
+    "forest_list_scan",
+    "segmented_list_scan",
+    "segmented_operator",
+    "early_reconnect_advantage",
+    "with_half_length",
+    # apps
+    "ExpressionTree",
+    "evaluate_expression_tree",
+    "random_expression_tree",
+    "recurrence_list",
+    "solve_linear_recurrence",
+    "build_euler_tour",
+    "tree_measures",
+    "random_parent_tree",
+    "partition_list",
+    "list_to_array",
+    "scan_via_reorder",
+]

@@ -1,0 +1,30 @@
+"""Section 4 analysis: distributions, cost model, performance prediction."""
+
+from .cost_model import (
+    CLOCK_NS_C90,
+    KernelCosts,
+    PAPER_C90_COSTS,
+    phase13_time_closed_form,
+    phase13_time_from_schedule,
+    phase2_time,
+    total_time,
+)
+from .distribution import (
+    empirical_order_stats,
+    expected_live_sublists,
+    expected_longest,
+    expected_order_stat,
+    expected_shortest,
+    gamma_tail,
+    live_sublists_derivative,
+    prob_length_exceeds,
+    sample_sublist_lengths,
+)
+from .predict import Prediction, asymptotic_clocks_per_element, predict_curve, predict_run
+from .extensions import (
+    early_reconnect_advantage,
+    half_performance_length,
+    reconnect_cost,
+    tail_cost,
+    with_half_length,
+)

@@ -1,0 +1,161 @@
+"""Sublist-length distribution analysis (paper Section 4.1).
+
+When a list of length *n* is split at *m* random positions, the sublist
+lengths behave — as *n, m → ∞* with *n ≫ m* — like mutually independent
+exponential variables with mean *n/m* (Feller, via the uniform spacings
+argument reproduced in the paper's Proposition 2).  Everything the
+pack-schedule optimizer needs follows from this:
+
+* ``g(s) = m·exp(−m·s/n)`` — the expected number of sublists longer
+  than *s* traversal steps (paper Eq. 1/2); this is the expected vector
+  length after *s* unpacked traversal steps.
+* order statistics — the expected length of the *i*-th shortest of
+  *m + 1* sublists (used to draw Figure 11 and to bound schedules).
+* the gamma tail of partial sums of spacings (paper Lemma 5).
+
+The empirical counterparts (:func:`sample_sublist_lengths`,
+:func:`empirical_order_stats`) regenerate the observed data of
+Figure 11.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "expected_live_sublists",
+    "live_sublists_derivative",
+    "expected_order_stat",
+    "expected_longest",
+    "expected_shortest",
+    "prob_length_exceeds",
+    "gamma_tail",
+    "sample_sublist_lengths",
+    "empirical_order_stats",
+]
+
+
+def expected_live_sublists(
+    s: Union[float, np.ndarray], n: int, m: int
+) -> Union[float, np.ndarray]:
+    """``g(s) = m·e^(−m·s/n)`` — expected sublists still active after ``s``
+    traversal steps (paper Eq. 2, the dotted curve of Figure 12)."""
+    s = np.asarray(s, dtype=np.float64)
+    out = m * np.exp(-m * s / n)
+    return float(out) if out.ndim == 0 else out
+
+
+def live_sublists_derivative(
+    s: Union[float, np.ndarray], n: int, m: int
+) -> Union[float, np.ndarray]:
+    """``g'(s) = −(m²/n)·e^(−m·s/n)`` — the slope used by Eq. 5/6."""
+    s = np.asarray(s, dtype=np.float64)
+    out = -(m * m / n) * np.exp(-m * s / n)
+    return float(out) if out.ndim == 0 else out
+
+
+def prob_length_exceeds(
+    x: Union[float, np.ndarray], n: int, m: int
+) -> Union[float, np.ndarray]:
+    """``P{L > x} ≈ e^(−m·x/n)`` for a single sublist length ``L``."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.exp(-m * x / n)
+    return float(out) if out.ndim == 0 else out
+
+
+def expected_order_stat(
+    i: Union[int, np.ndarray], n: int, m: int
+) -> Union[float, np.ndarray]:
+    """Expected length of the ``i``-th shortest of ``m + 1`` sublists.
+
+    Sets the exponential tail probability to ``(m − i + 1.5)/(m + 1)``
+    and solves ``e^(−m·x/n) = a`` (the paper's general estimate; for
+    ``i = 1`` it reduces to the paper's improved shortest-sublist
+    estimate ``(n/m)·ln((m+1)/(m+.5))`` and for ``i = m+1`` to the
+    longest-sublist estimate ``(n/m)·ln(2(m+1))``).
+    """
+    i = np.asarray(i, dtype=np.float64)
+    if np.any(i < 1) or np.any(i > m + 1):
+        raise ValueError(f"order index must lie in [1, m+1]={m + 1}")
+    a = (m - i + 1.5) / (m + 1)
+    out = (n / m) * np.log(1.0 / a)
+    return float(out) if out.ndim == 0 else out
+
+
+def expected_shortest(n: int, m: int) -> float:
+    """``E[L₍₁₎] ≈ (n/m)·ln((m+1)/(m+.5))`` (paper Section 4.1)."""
+    return (n / m) * math.log((m + 1) / (m + 0.5))
+
+
+def expected_longest(n: int, m: int) -> float:
+    """``E[L₍ₘ₊₁₎] ≈ (n/m)·ln(2(m+1))`` — bounds the parallel depth of
+    Phases 1 and 3 and terminates the pack schedule."""
+    return (n / m) * math.log(2.0 * (m + 1))
+
+
+def gamma_tail(k: int, t: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """``P{X₍ₖ₎ > t/m·(n)} → e^(−t) Σ_{j<k} t^j/j!`` (paper Lemma 5).
+
+    The tail of the gamma(k) distribution: the probability that the sum
+    of the first ``k`` spacings exceeds ``t`` mean lengths.  Evaluated
+    stably via iterative accumulation of the Poisson pmf.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    t = np.asarray(t, dtype=np.float64)
+    term = np.exp(-t)  # j = 0
+    total = term.copy()
+    for j in range(1, k):
+        term = term * t / j
+        total += term
+    out = np.clip(total, 0.0, 1.0)
+    return float(out) if out.ndim == 0 else out
+
+
+def sample_sublist_lengths(
+    n: int,
+    m: int,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> np.ndarray:
+    """Draw one sample of the ``m + 1`` sublist lengths.
+
+    Chooses ``m`` distinct random split positions in ``1 … n−1`` (a
+    split at ``p`` means the node at list position ``p−1`` becomes a
+    sublist tail) and returns the gap lengths, exactly the experiment
+    behind Figure 11's observed data.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if m > n - 1:
+        raise ValueError(f"cannot place m={m} splits in a list of length {n}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    splits = np.sort(gen.choice(np.arange(1, n), size=m, replace=False))
+    edges = np.concatenate(([0], splits, [n]))
+    return np.diff(edges)
+
+
+def empirical_order_stats(
+    n: int,
+    m: int,
+    samples: int = 20,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> dict:
+    """Observed order statistics of sublist lengths (Figure 11's data).
+
+    Returns a dict with keys ``mean``, ``min``, ``max`` — arrays of
+    length ``m + 1`` giving, for each order index ``i`` (the *i*-th
+    shortest sublist), the average/minimum/maximum over ``samples``
+    independent splits.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    sorted_lengths = np.empty((samples, m + 1), dtype=np.int64)
+    for s in range(samples):
+        sorted_lengths[s] = np.sort(sample_sublist_lengths(n, m, gen))
+    return {
+        "mean": sorted_lengths.mean(axis=0),
+        "min": sorted_lengths.min(axis=0),
+        "max": sorted_lengths.max(axis=0),
+    }

@@ -1,0 +1,145 @@
+"""Analytical models for the paper's Section 6 extensions.
+
+The paper closes with a machine-dependent recommendation: on vector
+machines with long *half-performance lengths* (large per-operation
+startup relative to throughput), the tail of Phase 1/3 — many short-
+vector steps chasing the longest sublists — should be cut off by
+reconnecting and compacting the stragglers ("the trade off may be worth
+it if the vector machine has long vector half lengths").  This module
+quantifies that trade-off under the Section 4 cost model:
+
+* :func:`tail_cost` — expected cost of finishing Phases 1/3 from the
+  moment only ``x`` sublists remain, using the ordinary short-vector
+  steps;
+* :func:`reconnect_cost` — expected cost of the early-reconnect
+  alternative: the bookkeeping scatter during the main loop, the
+  compaction, and a full-width rescan of the remaining elements;
+* :func:`early_reconnect_advantage` — the ratio of the two as a
+  function of the per-step constant ``b`` (the machine's startup), the
+  paper's decision variable.
+
+The half-performance length ``n_half = b / a`` converts between the two
+framings: ``b`` is large exactly when vectors shorter than ``n_half``
+waste most of their time filling pipes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from .cost_model import KernelCosts, PAPER_C90_COSTS
+from .distribution import expected_live_sublists, expected_longest
+
+__all__ = [
+    "tail_cost",
+    "reconnect_cost",
+    "early_reconnect_advantage",
+    "half_performance_length",
+    "with_half_length",
+]
+
+
+def half_performance_length(costs: KernelCosts = PAPER_C90_COSTS) -> float:
+    """The vector length at which startup equals streaming time,
+    ``n_half = b / a`` for the combined rank step."""
+    return costs.b / costs.a
+
+
+def with_half_length(
+    n_half: float, base: KernelCosts = PAPER_C90_COSTS
+) -> KernelCosts:
+    """A cost table with the rank/pack step constants scaled so the
+    combined half-performance length equals ``n_half`` (throughputs
+    unchanged) — models a machine with longer pipes."""
+    scale = n_half * base.a / base.b
+    return replace(
+        base,
+        initial_rank_const=base.initial_rank_const * scale,
+        final_rank_const=base.final_rank_const * scale,
+        initial_pack_const=base.initial_pack_const * scale,
+        final_pack_const=base.final_pack_const * scale,
+    )
+
+
+def tail_cost(
+    n: int,
+    m: int,
+    switch_live: int,
+    costs: KernelCosts = PAPER_C90_COSTS,
+) -> float:
+    """Expected Phase 1+3 cost of finishing the last ``switch_live``
+    sublists with ordinary short-vector steps.
+
+    From the live-count model: the switch happens at depth
+    ``s₀ = (n/m)·ln(m/x)`` where ``x = switch_live``; the remaining
+    steps run to the longest sublist at ``s_max = (n/m)·ln 2(m+1)``,
+    with expected vector length g(s).  Packing is charged once per
+    e-folding of the live count.
+    """
+    x = max(1, switch_live)
+    if x >= m:
+        return 0.0
+    s0 = (n / m) * math.log(m / x)
+    s_max = expected_longest(n, m)
+    if s_max <= s0:
+        return 0.0
+    steps = np.arange(math.floor(s0), math.ceil(s_max))
+    g = expected_live_sublists(steps, n, m)
+    rank = float(np.sum(costs.a * g + costs.b))
+    n_packs = max(1.0, math.log(max(x, math.e)))
+    pack = n_packs * (costs.c * x / 2 + costs.d)
+    return rank + pack
+
+
+def reconnect_cost(
+    n: int,
+    m: int,
+    switch_live: int,
+    costs: KernelCosts = PAPER_C90_COSTS,
+    bookkeeping_per_element: float = 1.25,
+) -> float:
+    """Expected cost of the early-reconnect alternative.
+
+    * bookkeeping: one extra scatter per element consumed before the
+    switch (the paper's "extra book keeping that would slow down the
+    main ranking portion");
+    * compaction: gather + scatter of the remaining elements;
+    * rescan: the remaining ``n_rem = x·(n/m)·(1 + ln?)…`` elements —
+      the expected mass above the switch depth is ``x·n/m`` (each of
+      the ``x`` stragglers has mean residual ``n/m`` by
+      memorylessness) — processed at full vector width, i.e. at the
+      asymptotic ``a`` clocks/element plus one extra pack generation.
+    """
+    x = max(1, switch_live)
+    if x >= m:
+        x = m
+    n_consumed = n * (1 - x / m)  # expected mass below the switch depth
+    n_rem = n - n_consumed
+    bookkeeping = bookkeeping_per_element * n_consumed
+    compaction = 2.0 * 1.25 * n_rem + 2 * costs.d
+    rescan = costs.a * n_rem + costs.b * math.log(max(x, 2)) * 4 + costs.f / 4
+    return bookkeeping + compaction + rescan
+
+
+def early_reconnect_advantage(
+    n: int,
+    m: int,
+    switch_live: Optional[int] = None,
+    costs: KernelCosts = PAPER_C90_COSTS,
+) -> float:
+    """``tail_cost / reconnect_cost`` — > 1 when switching pays off.
+
+    On the C-90's short pipes this is < 1 for reasonable parameters
+    (the paper's implicit judgement: they did not implement it); as the
+    step constants grow (long half-performance lengths) the ratio
+    crosses 1 — the paper's stated trade-off.
+    """
+    if switch_live is None:
+        switch_live = max(1, m // 8)
+    t = tail_cost(n, m, switch_live, costs)
+    r = reconnect_cost(n, m, switch_live, costs)
+    return t / r if r > 0 else math.inf

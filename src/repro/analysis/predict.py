@@ -1,0 +1,105 @@
+"""Predicted performance curves (paper Section 4.4, Figure 14; Section 5).
+
+"Figure 14 compares the predicted time with the observed running time.
+The predicted time was computed by estimating the parameter values for
+each value of n using the fitted cubic equations and then applying the
+[cost] equation for those parameter values.  As the figure indicates
+the equation is an accurate predictor of the running time.  Notice that
+the running time decreases until it reaches an asymptote of about 8.6
+clocks per element."
+
+:func:`predict_run` evaluates the full model — tuned (m, S₁), the Eq. 6
+schedule, the Eq. 3 schedule-sum for Phases 1+3, and the Phase-2
+dispatch cost — for one (n, p); :func:`predict_curve` sweeps n.  The
+``bench_fig14`` benchmark overlays these predictions on the simulator's
+measurements, reproducing the paper's predicted-vs-measured figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.schedule import optimal_schedule
+from ..core.tuning import SERIAL_CUTOFF, WYLLIE_CUTOFF, tuned_parameters
+from .cost_model import (
+    KernelCosts,
+    PAPER_C90_COSTS,
+    phase2_time,
+    phase13_time_from_schedule,
+)
+
+__all__ = ["Prediction", "predict_run", "predict_curve", "asymptotic_clocks_per_element"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Model-predicted run characteristics for one problem size."""
+
+    n: int
+    m: int
+    s1: float
+    n_packs: int
+    n_processors: int
+    cycles: float
+    clock_ns: float
+
+    @property
+    def clocks_per_element(self) -> float:
+        return self.cycles / max(self.n, 1)
+
+    @property
+    def ns_per_element(self) -> float:
+        return self.clocks_per_element * self.clock_ns
+
+
+def predict_run(
+    n: int,
+    costs: KernelCosts = PAPER_C90_COSTS,
+    n_processors: int = 1,
+    m: Optional[int] = None,
+    s1: Optional[float] = None,
+) -> Prediction:
+    """Expected run time of the sublist algorithm for one (n, p)."""
+    if m is None or s1 is None:
+        m_t, s1_t = tuned_parameters(n, costs, n_processors)
+        m = m if m is not None else m_t
+        s1 = s1 if s1 is not None else s1_t
+    m = int(min(max(m, 2), max(2, n // 2)))
+    schedule = optimal_schedule(n, m, s1, costs)
+    cycles = phase13_time_from_schedule(n, m, schedule, costs, n_processors)
+    cycles += phase2_time(m, costs, SERIAL_CUTOFF, WYLLIE_CUTOFF)
+    if n_processors > 1:
+        # tasked-loop start for the four parallel regions + syncs
+        cycles += 4 * costs.sync_const
+    return Prediction(
+        n=n,
+        m=m,
+        s1=float(s1),
+        n_packs=len(schedule),
+        n_processors=n_processors,
+        cycles=cycles,
+        clock_ns=costs.clock_ns,
+    )
+
+
+def predict_curve(
+    ns: Sequence[int],
+    costs: KernelCosts = PAPER_C90_COSTS,
+    n_processors: int = 1,
+) -> list:
+    """Predictions for a sweep of list lengths (Figure 14's model line)."""
+    return [predict_run(int(n), costs, n_processors) for n in ns]
+
+
+def asymptotic_clocks_per_element(costs: KernelCosts = PAPER_C90_COSTS) -> float:
+    """The n → ∞ limit of clocks per element on one processor.
+
+    With the tuned m growing polylogarithmically, every per-m and
+    constant term vanishes per element and only the combined rank slope
+    survives, plus the residual step-constant term b·ln(m)/(m) · … —
+    evaluated numerically at a huge n (the paper reports ≈ 8.6).
+    """
+    pred = predict_run(1 << 28, costs)
+    return pred.clocks_per_element

@@ -1,0 +1,11 @@
+"""Applications built on list ranking / list scan."""
+
+from .euler_tour import EulerTour, build_euler_tour, random_parent_tree, tree_measures
+from .load_balance import partition_list, partition_summary
+from .recurrence import recurrence_list, solve_linear_recurrence
+from .reorder import list_to_array, scan_via_reorder
+from .tree_contraction import (
+    ExpressionTree,
+    evaluate_expression_tree,
+    random_expression_tree,
+)

@@ -1,0 +1,215 @@
+"""Euler-tour technique on rooted trees, built on list ranking.
+
+The paper motivates list ranking as the primitive behind "finding the
+Euler tour of a tree" and parallel tree contraction (Section 1).  This
+module is that application, end to end:
+
+1. A rooted tree (parent array) is expanded into its *dart* set — each
+   tree edge {u, v} contributes the darts u→v and v→u.
+2. A rotation system (the circular order of darts around each vertex)
+   defines the Euler-tour successor of each dart, giving a **linked
+   list of 2(n−1) darts** in exactly the paper's representation.
+3. **List ranking** of that linked list yields the tour positions, and
+   **list scans** over ±1 dart values yield depths; first/last
+   occurrences give preorder/postorder numbers and subtree sizes.
+
+Every scan goes through the library's public algorithms, so this is
+both a realistic workload generator (tour lists are highly irregular)
+and an integration test of the whole stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.list_scan import list_rank, list_scan
+from ..core.operators import SUM
+from ..lists.generate import INDEX_DTYPE, LinkedList
+
+__all__ = ["EulerTour", "build_euler_tour", "tree_measures", "random_parent_tree"]
+
+
+@dataclass
+class EulerTour:
+    """The Euler tour of a rooted tree as a linked list of darts.
+
+    Dart ``2k`` is parent→child for the k-th non-root vertex (in vertex
+    order); dart ``2k+1`` is the matching child→parent dart.
+    """
+
+    tour: LinkedList  #: linked list over the 2(n−1) darts
+    dart_from: np.ndarray  #: source vertex of each dart
+    dart_to: np.ndarray  #: target vertex of each dart
+    down_dart: np.ndarray  #: for each non-root vertex, its entering dart
+    up_dart: np.ndarray  #: for each non-root vertex, its leaving dart
+    root: int
+    n_vertices: int
+
+
+def random_parent_tree(
+    n: int, rng: Optional[Union[np.random.Generator, int]] = None
+) -> np.ndarray:
+    """A random recursive tree: vertex v > 0 attaches to a uniform
+    earlier vertex.  ``parent[0] == 0`` marks the root."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    parent = np.zeros(n, dtype=INDEX_DTYPE)
+    for v in range(1, n):
+        parent[v] = gen.integers(0, v)
+    return parent
+
+
+def build_euler_tour(parent: np.ndarray, root: int = 0) -> EulerTour:
+    """Construct the Euler-tour linked list of a rooted tree.
+
+    ``parent[v]`` is v's parent; ``parent[root] == root``.  The tour
+    starts at the root's first outgoing dart and ends (self-loop) at
+    the dart returning to the root from its last child.
+    """
+    parent = np.asarray(parent, dtype=INDEX_DTYPE)
+    n = parent.shape[0]
+    if n < 2:
+        raise ValueError("Euler tour needs at least 2 vertices")
+    if parent[root] != root:
+        raise ValueError("parent[root] must equal root")
+    kids = np.flatnonzero(np.arange(n, dtype=INDEX_DTYPE) != parent)
+    if kids.size != n - 1:
+        raise ValueError("parent array must have exactly one root self-loop")
+
+    n_darts = 2 * (n - 1)
+    dart_from = np.empty(n_darts, dtype=INDEX_DTYPE)
+    dart_to = np.empty(n_darts, dtype=INDEX_DTYPE)
+    dart_from[0::2] = parent[kids]  # down darts: parent → child
+    dart_to[0::2] = kids
+    dart_from[1::2] = kids  # up darts: child → parent
+    dart_to[1::2] = parent[kids]
+    down_dart = np.full(n, -1, dtype=INDEX_DTYPE)
+    up_dart = np.full(n, -1, dtype=INDEX_DTYPE)
+    down_dart[kids] = 2 * np.arange(n - 1, dtype=INDEX_DTYPE)
+    up_dart[kids] = 2 * np.arange(n - 1, dtype=INDEX_DTYPE) + 1
+
+    # rotation system: darts grouped by source vertex, stable order.
+    # succ(u→v) = the dart leaving v that follows (v→u) in v's circular
+    # order of outgoing darts.
+    order = np.argsort(dart_from, kind="stable").astype(INDEX_DTYPE)
+    # position of each dart within its source vertex's group
+    group_start = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    counts = np.bincount(dart_from, minlength=n)
+    group_start[1:] = np.cumsum(counts)
+    pos_in_group = np.empty(n_darts, dtype=INDEX_DTYPE)
+    pos_in_group[order] = (
+        np.arange(n_darts, dtype=INDEX_DTYPE) - group_start[dart_from[order]]
+    )
+    twin = np.arange(n_darts, dtype=INDEX_DTYPE) ^ 1  # 2k ↔ 2k+1
+    # successor of dart d = next outgoing dart (cyclically) after twin(d)
+    # within twin(d)'s source group, i.e. around vertex dart_to[d].
+    t = twin
+    tv = dart_from[t]  # == dart_to of d
+    nxt_pos = pos_in_group[t] + 1
+    wrap = nxt_pos >= counts[tv]
+    nxt_pos[wrap] = 0
+    succ = order[group_start[tv] + nxt_pos]
+
+    # cut the Euler cycle into a list: it starts at the root's first
+    # outgoing dart; the dart whose successor would be that start
+    # becomes the tail (self-loop).
+    start = int(order[group_start[root]])
+    tail = int(np.flatnonzero(succ == start)[0])
+    succ[tail] = tail
+    tour = LinkedList(succ, start)
+    return EulerTour(
+        tour=tour,
+        dart_from=dart_from,
+        dart_to=dart_to,
+        down_dart=down_dart,
+        up_dart=up_dart,
+        root=root,
+        n_vertices=n,
+    )
+
+
+def tree_measures(
+    parent: np.ndarray,
+    root: int = 0,
+    algorithm: str = "sublist",
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> dict:
+    """Depth, preorder, postorder and subtree size for every vertex,
+    computed with list ranking / list scan over the Euler tour.
+
+    ``algorithm`` selects the scan implementation (``"sublist"``,
+    ``"wyllie"``, ``"serial"``, …) via the public dispatch API.
+    """
+    parent = np.asarray(parent, dtype=INDEX_DTYPE)
+    n = parent.shape[0]
+    if n == 1:
+        return {
+            "depth": np.zeros(1, dtype=np.int64),
+            "preorder": np.zeros(1, dtype=np.int64),
+            "postorder": np.zeros(1, dtype=np.int64),
+            "subtree_size": np.ones(1, dtype=np.int64),
+        }
+    et = build_euler_tour(parent, root)
+    tour = et.tour
+    n_darts = tour.n
+
+    rank = list_rank(tour, algorithm=algorithm, rng=rng)
+
+    # depth: +1 entering a vertex (down dart), −1 leaving (up dart);
+    # inclusive scan at a vertex's down dart = its depth.
+    delta = np.empty(n_darts, dtype=np.int64)
+    delta[0::2] = 1
+    delta[1::2] = -1
+    depth_scan = list_scan(
+        LinkedList(tour.next, tour.head, delta),
+        SUM,
+        inclusive=True,
+        algorithm=algorithm,
+        rng=rng,
+    )
+    kids = np.flatnonzero(np.arange(n, dtype=INDEX_DTYPE) != parent)
+    depth = np.zeros(n, dtype=np.int64)
+    depth[kids] = depth_scan[et.down_dart[kids]]
+
+    # preorder: vertices ordered by the rank of their down dart; the
+    # count of down darts at rank ≤ r is the preorder number.
+    is_down = np.zeros(n_darts, dtype=np.int64)
+    is_down[0::2] = 1
+    downs_before = list_scan(
+        LinkedList(tour.next, tour.head, is_down),
+        SUM,
+        inclusive=True,
+        algorithm=algorithm,
+        rng=rng,
+    )
+    preorder = np.zeros(n, dtype=np.int64)
+    preorder[kids] = downs_before[et.down_dart[kids]]  # root = 0, children 1..
+
+    postorder = np.zeros(n, dtype=np.int64)
+    ups_before = list_scan(
+        LinkedList(tour.next, tour.head, 1 - is_down),
+        SUM,
+        inclusive=True,
+        algorithm=algorithm,
+        rng=rng,
+    )
+    postorder[kids] = ups_before[et.up_dart[kids]] - 1  # 0-based among non-root
+    postorder[root] = n - 1
+
+    # subtree size: the tour enters v at rank(down) and leaves at
+    # rank(up); the enclosed darts are exactly 2·size(v) − 2.
+    size = np.empty(n, dtype=np.int64)
+    size[kids] = (rank[et.up_dart[kids]] - rank[et.down_dart[kids]]) // 2 + 1
+    size[root] = n
+    return {
+        "depth": depth,
+        "preorder": preorder,
+        "postorder": postorder,
+        "subtree_size": size,
+        "tour_rank": rank,
+        "euler_tour": et,
+    }

@@ -1,0 +1,71 @@
+"""First-order linear recurrences over linked sequences.
+
+A classic application of scan with a non-trivial operator (Blelloch;
+paper reference [5] solves recurrences with loop raking): the
+recurrence ``x_{k+1} = a_k · x_k + b_k`` is the composition of affine
+maps, so when the coefficient sequence is stored as a *linked list*,
+the whole trajectory is one ``AFFINE`` list scan — no pointer chasing
+required.
+
+``solve_linear_recurrence`` returns ``x_k`` for every node, where node
+``v`` at list position ``k`` holds the coefficients ``(a_k, b_k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.list_scan import list_scan
+from ..core.operators import AFFINE
+from ..lists.generate import LinkedList
+
+__all__ = ["solve_linear_recurrence", "recurrence_list"]
+
+
+def recurrence_list(
+    a: np.ndarray,
+    b: np.ndarray,
+    order: Optional[np.ndarray] = None,
+) -> LinkedList:
+    """Package coefficient sequences into a linked list.
+
+    ``a[k]``/``b[k]`` are the coefficients applied at list position
+    ``k`` (node ``order[k]``; identity order by default).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("a and b must have the same shape")
+    n = a.shape[0]
+    if order is None:
+        order = np.arange(n)
+    order = np.asarray(order)
+    values = np.empty((n, 2), dtype=np.float64)
+    values[order, 0] = a
+    values[order, 1] = b
+    from ..lists.generate import from_order
+
+    return from_order(order, values)
+
+
+def solve_linear_recurrence(
+    lst: LinkedList,
+    x0: float = 0.0,
+    algorithm: str = "sublist",
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> np.ndarray:
+    """Solve ``x_{k+1} = a_k·x_k + b_k`` along the list.
+
+    ``lst.values`` must have shape ``(n, 2)`` holding ``(a, b)`` per
+    node.  Returns, indexed by node, the state ``x`` *before* that
+    node's map is applied (so the head gets ``x0``); apply the last
+    node's map to get the final state.
+    """
+    values = np.asarray(lst.values)
+    if values.ndim != 2 or values.shape[1] != 2:
+        raise ValueError("recurrence list values must have shape (n, 2)")
+    comp = list_scan(lst, AFFINE, inclusive=False, algorithm=algorithm, rng=rng)
+    # exclusive composition ``(A, B)`` at node k maps x0 to x_k
+    return comp[:, 0] * x0 + comp[:, 1]

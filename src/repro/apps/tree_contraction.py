@@ -1,0 +1,262 @@
+"""Parallel tree contraction: expression-tree evaluation.
+
+The paper motivates list ranking through "parallel tree contraction
+[17]" and applications like expression evaluation (Section 1).  This
+module implements the Miller/Reif rake-based contraction for binary
+arithmetic expression trees:
+
+* every leaf carries a number, every internal node an operator
+  (``+`` or ``*``);
+* every tree edge carries an *affine label* ``x ↦ a·x + b`` (initially
+  the identity) — the classic closure property that makes ``+``/``*``
+  trees contractible: partially applying either operator to a known
+  child value yields an affine function of the remaining child;
+* leaves are numbered left-to-right **by list-ranking the Euler tour**
+  (the exact use of the primitive the paper describes), and each round
+  rakes the odd-numbered leaves — left children first, then right
+  children — so no two raked leaves share a parent;
+* after Θ(log n) rounds a single leaf remains and the root's value is
+  its labelled value.
+
+The rake rounds are fully vectorized NumPy; only the round loop is
+sequential, mirroring the paper's data-parallel style.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..lists.generate import INDEX_DTYPE
+from .euler_tour import tree_measures
+
+__all__ = ["ExpressionTree", "evaluate_expression_tree", "random_expression_tree"]
+
+OP_ADD = 0
+OP_MUL = 1
+
+
+class ExpressionTree:
+    """A binary arithmetic expression tree.
+
+    Parameters
+    ----------
+    parent:
+        Parent index per node; ``parent[root] == root``.
+    ops:
+        Operator code per node (``OP_ADD`` or ``OP_MUL``); only
+        meaningful for internal nodes.
+    leaf_values:
+        Value per node; only meaningful for leaves.
+
+    Every internal node must have exactly two children.
+    """
+
+    def __init__(
+        self,
+        parent: np.ndarray,
+        ops: np.ndarray,
+        leaf_values: np.ndarray,
+        root: int = 0,
+    ) -> None:
+        self.parent = np.asarray(parent, dtype=INDEX_DTYPE)
+        self.ops = np.asarray(ops, dtype=np.int8)
+        self.leaf_values = np.asarray(leaf_values)
+        self.root = int(root)
+        n = self.parent.shape[0]
+        if self.parent[self.root] != self.root:
+            raise ValueError("parent[root] must equal root")
+        counts = np.bincount(
+            self.parent[np.arange(n) != self.root], minlength=n
+        )
+        internal = counts > 0
+        if np.any(counts[internal] != 2):
+            raise ValueError("every internal node needs exactly two children")
+        self.is_leaf = ~internal
+        if self.is_leaf[self.root] and n > 1:
+            raise ValueError("root of a multi-node tree cannot be a leaf")
+
+    @property
+    def n(self) -> int:
+        return int(self.parent.shape[0])
+
+    def evaluate_serial(self) -> float:
+        """Reference: post-order scalar evaluation."""
+        n = self.n
+        children: list = [[] for _ in range(n)]
+        for v in range(n):
+            if v != self.root:
+                children[self.parent[v]].append(v)
+        val = np.zeros(n, dtype=np.float64)
+        stack = [(self.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if self.is_leaf[v]:
+                val[v] = self.leaf_values[v]
+                continue
+            if done:
+                a, b = (val[c] for c in children[v])
+                val[v] = a + b if self.ops[v] == OP_ADD else a * b
+            else:
+                stack.append((v, True))
+                for c in children[v]:
+                    stack.append((c, False))
+        return float(val[self.root])
+
+
+def random_expression_tree(
+    n_leaves: int,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+    value_low: float = -3.0,
+    value_high: float = 3.0,
+) -> ExpressionTree:
+    """A random full binary expression tree with ``n_leaves`` leaves.
+
+    Built by repeatedly splitting a random leaf into an internal node
+    with two children; operator codes are coin flips.
+    """
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    total = 2 * n_leaves - 1
+    parent = np.zeros(total, dtype=INDEX_DTYPE)
+    leaves = [0]
+    nxt_id = 1
+    while nxt_id + 1 < total + 1 and len(leaves) < n_leaves:
+        v = leaves.pop(int(gen.integers(0, len(leaves))))
+        a, b = nxt_id, nxt_id + 1
+        nxt_id += 2
+        parent[a] = v
+        parent[b] = v
+        leaves.extend([a, b])
+    ops = gen.integers(0, 2, total).astype(np.int8)
+    values = gen.uniform(value_low, value_high, total)
+    return ExpressionTree(parent, ops, values)
+
+
+def evaluate_expression_tree(
+    tree: ExpressionTree,
+    algorithm: str = "sublist",
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> float:
+    """Evaluate the expression tree by parallel rake contraction.
+
+    Uses list ranking over the Euler tour (via ``algorithm``) to number
+    the leaves, then rakes odd leaves per round.  Returns the root
+    value (float; the affine labels are kept in float64).
+    """
+    n = tree.n
+    if n == 1:
+        return float(tree.leaf_values[tree.root])
+
+    measures = tree_measures(tree.parent, tree.root, algorithm=algorithm, rng=rng)
+    preorder = measures["preorder"]
+
+    parent = tree.parent.copy()
+    is_leaf = tree.is_leaf.copy()
+    # affine edge labels: value contributed upward = a·x + b
+    lab_a = np.ones(n, dtype=np.float64)
+    lab_b = np.zeros(n, dtype=np.float64)
+    val = tree.leaf_values.astype(np.float64).copy()
+    alive_leaf = is_leaf.copy()
+    alive_leaf[tree.root] = False
+
+    # sibling pointers: for each node, the other child of its parent
+    sibling = _siblings(parent, tree.root, n)
+    # left child = the child with the smaller preorder number
+    is_left = np.zeros(n, dtype=bool)
+    non_root = np.arange(n) != tree.root
+    is_left[non_root] = preorder[np.arange(n)[non_root]] < preorder[
+        sibling[np.arange(n)[non_root]]
+    ]
+
+    # leaf numbering by Euler-tour order
+    leaf_ids = np.flatnonzero(alive_leaf)
+    order = np.argsort(preorder[leaf_ids])
+    number = np.empty(n, dtype=np.int64)
+    number[leaf_ids[order]] = np.arange(leaf_ids.size, dtype=np.int64)
+
+    ops = tree.ops
+    # replacement map: spliced-out parent → the child that took its place
+    repl = np.full(n, -1, dtype=INDEX_DTYPE)
+    guard = 4 * int(np.ceil(np.log2(max(n, 2)))) + 8
+    for _ in range(guard):
+        live = np.flatnonzero(alive_leaf)
+        if live.size <= 1:
+            break
+        odd = live[number[live] % 2 == 1]
+        for side in (True, False):  # left children first, then right
+            rake = odd[is_left[odd] == side]
+            rake = rake[rake != tree.root]
+            # never rake a leaf whose sibling is also raking this side
+            # (cannot happen: siblings share a parent, and within a side
+            # their numbers differ — but a leaf whose sibling is ALSO an
+            # odd leaf on the other side is fine).  A leaf whose parent
+            # is the root and whose sibling is the last remaining leaf
+            # still rakes normally.
+            if rake.size == 0:
+                continue
+            p = parent[rake]
+            s = sibling[rake]
+            contrib = lab_a[rake] * val[rake] + lab_b[rake]
+            # fold the raked value into the sibling's edge label through
+            # the parent's partially applied operator and label
+            add_mask = ops[p] == OP_ADD
+            new_a = np.where(add_mask, lab_a[s], lab_a[s] * contrib)
+            new_b = np.where(add_mask, lab_b[s] + contrib, lab_b[s] * contrib)
+            lab_a[s] = lab_a[p] * new_a
+            lab_b[s] = lab_a[p] * new_b + lab_b[p]
+            # splice out the parent: sibling moves up
+            gp = parent[p]
+            parent[s] = gp
+            root_replace = p == tree.root
+            # if the parent was the root, the sibling becomes the root
+            if np.any(root_replace):
+                new_root_s = s[root_replace][0]
+                parent[new_root_s] = new_root_s
+            # rewire sibling pointers at the grandparent level
+            repl[p] = s
+            p_sib = sibling[p]
+            sibling[s] = p_sib
+            valid = p_sib >= 0
+            sibling[p_sib[valid]] = s[valid]
+            is_left[s] = is_left[p]
+            alive_leaf[rake] = False
+            # when two sibling parents spliced simultaneously, each
+            # survivor's sibling pointer still names the other's dead
+            # parent — chase the replacement chain (bounded length)
+            for _fix in range(64):
+                sib_now = sibling[s]
+                ok = sib_now >= 0
+                bad = np.zeros(s.shape[0], dtype=bool)
+                bad[ok] = repl[sib_now[ok]] >= 0
+                if not np.any(bad):
+                    break
+                sibling[s[bad]] = repl[sibling[s[bad]]]
+        # renumber the remaining leaves
+        live = np.flatnonzero(alive_leaf)
+        order = np.argsort(number[live], kind="stable")
+        number[live[order]] = np.arange(live.size, dtype=np.int64)
+
+    live = np.flatnonzero(alive_leaf)
+    if live.size != 1:
+        raise RuntimeError("contraction did not converge")
+    last = int(live[0])
+    return float(lab_a[last] * val[last] + lab_b[last])
+
+
+def _siblings(parent: np.ndarray, root: int, n: int) -> np.ndarray:
+    """For each non-root node, the other child of its parent."""
+    sibling = np.full(n, -1, dtype=INDEX_DTYPE)
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    non_root = idx != root
+    kids = idx[non_root]
+    # group the two children of each parent
+    order = np.argsort(parent[kids], kind="stable")
+    sorted_kids = kids[order]
+    first = sorted_kids[0::2]
+    second = sorted_kids[1::2]
+    sibling[first] = second
+    sibling[second] = first
+    return sibling

@@ -1,0 +1,147 @@
+"""Miller/Reif random-mate list ranking (paper Section 2.3).
+
+"One of the simplest work efficient parallel algorithms was devised by
+Miller and Reif.  It used randomization to break contention so that
+processors at neighboring nodes do not attempt to dereference their
+successor pointers simultaneously."
+
+Each round every live node flips a coin; a node ``v`` whose coin is
+*heads* splices out its successor ``u`` when ``u``'s coin is *tails*
+(and ``u`` is not the tail anchor).  Heads→tails pairs are vertex
+disjoint, so all splices of a round commute; an expected 1/4 of the
+live nodes drop out per round, giving O(log n) rounds.  A splice
+records ``(v, u, value_of_v_before)`` on a per-round stack; after the
+contracted list is scanned serially, the stacks are replayed in
+reverse, reconstructing each spliced node's scan as
+``out[u] = out[v] ⊕ saved_value`` — the "reconstruction phase, in which
+spliced out nodes are reintroduced in reverse order from which they
+were removed".
+
+Like the paper's implementation, live nodes are *packed* every round so
+the vector work tracks the live count and the algorithm stays work
+efficient — and, like the paper measured, the constant factors (coin
+flips, two-sided masks, per-round packs, reconstruction traffic) make
+it an order of magnitude slower than the sublist algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.operators import Operator, SUM, get_operator
+from ..core.stats import ScanStats
+from ..lists.generate import INDEX_DTYPE, LinkedList
+from .serial import serial_list_scan
+
+__all__ = ["random_mate_list_scan", "random_mate_list_rank"]
+
+#: Below this many live nodes the contraction switches to the serial scan.
+_SERIAL_SWITCH = 4
+
+
+def random_mate_list_scan(
+    lst: LinkedList,
+    op: Union[Operator, str] = SUM,
+    inclusive: bool = False,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+    stats: Optional[ScanStats] = None,
+) -> np.ndarray:
+    """Exclusive (or inclusive) list scan by random-mate contraction."""
+    op = get_operator(op)
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    n = lst.n
+    values = lst.values
+    out = np.empty_like(values)
+
+    if n <= _SERIAL_SWITCH:
+        serial_list_scan(lst, op, inclusive=inclusive, out=out)
+        return out
+
+    nxt = lst.next.copy()
+    val = values.copy()
+    tail = lst.tail
+    live = np.arange(n, dtype=INDEX_DTYPE)
+    if stats is not None:
+        stats.alloc(3 * n)  # nxt copy + val copy + live index vector
+
+    # contraction ------------------------------------------------------
+    rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    coin = np.empty(n, dtype=bool)
+    while live.size > _SERIAL_SWITCH:
+        k = live.size
+        coin[live] = gen.random(k) < 0.5
+        succ = nxt[live]
+        splice = (
+            coin[live]
+            & ~coin[succ]
+            & (succ != live)  # I am not the tail myself
+            & (succ != tail)  # never splice out the anchor
+        )
+        if stats is not None:
+            stats.add_round()
+            stats.add_work(k, phase="contract")
+            stats.add_gather(2 * k)
+        if np.any(splice):
+            v = live[splice]
+            u = succ[splice]
+            rounds.append((v, u, val[v].copy()))
+            val[v] = op.combine(val[v], val[u])
+            nxt[v] = nxt[u]
+            # pack: drop the spliced-out nodes from the live vector
+            dead = np.zeros(n, dtype=bool)
+            dead[u] = True
+            live = live[~dead[live]]
+            if stats is not None:
+                stats.add_pack()
+                stats.add_scatter(3 * v.size + live.size)
+                stats.alloc(3 * v.size)  # reconstruction stack entries
+
+    # serial base case on the contracted chain -------------------------
+    contracted = LinkedList(nxt, lst.head, val)
+    _serial_scan_live(contracted, live, op, out)
+    if stats is not None:
+        stats.add_work(live.size, phase="base")
+
+    # reconstruction in reverse round order ----------------------------
+    for v, u, val_before in reversed(rounds):
+        out[u] = op.combine(out[v], val_before)
+        if stats is not None:
+            stats.add_round()
+            stats.add_work(v.size, phase="reconstruct")
+            stats.add_gather(v.size)
+            stats.add_scatter(v.size)
+    if stats is not None:
+        stats.free(3 * n)
+
+    if inclusive:
+        out = op.combine(out, values)
+    return out
+
+
+def _serial_scan_live(
+    contracted: LinkedList, live: np.ndarray, op: Operator, out: np.ndarray
+) -> None:
+    """Serial exclusive scan over the contracted chain (live nodes only)."""
+    acc = op.identity_for(contracted.values.dtype)
+    cur = contracted.head
+    nxt = contracted.next
+    val = contracted.values
+    for _ in range(live.size):
+        out[cur] = acc
+        acc = op.combine(acc, val[cur])
+        succ = int(nxt[cur])
+        if succ == cur:
+            break
+        cur = succ
+
+
+def random_mate_list_rank(
+    lst: LinkedList,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+    stats: Optional[ScanStats] = None,
+) -> np.ndarray:
+    """List ranking via random mate (scan of ones under ``+``)."""
+    ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
+    return random_mate_list_scan(ones, SUM, rng=rng, stats=stats)

@@ -1,0 +1,13 @@
+"""Benchmark harness helpers shared by the benchmarks/ suite."""
+
+from .harness import (
+    ExperimentRecord,
+    all_records,
+    clear_records,
+    format_table,
+    print_table,
+    record,
+    summary_lines,
+)
+from .workloads import K, get_random_list, get_valued_list, paper_sizes
+from .figures import ALL_FIGURES, write_csv

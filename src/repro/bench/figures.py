@@ -1,0 +1,197 @@
+"""CSV series for every figure in the paper.
+
+Plotting libraries are deliberately not required: each function returns
+(and optionally writes as CSV) the x/y series of one figure, suitable
+for any plotting tool.  Used by ``repro.cli figures`` and the
+``examples/make_figures.py`` script.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.distribution import empirical_order_stats, expected_order_stat
+from ..analysis.predict import predict_run
+from ..core.schedule import optimal_schedule
+from ..analysis.distribution import expected_live_sublists
+from ..lists.generate import random_list
+from ..simulate.contraction_sim import (
+    anderson_miller_scan_sim,
+    random_mate_scan_sim,
+)
+from ..simulate.serial_sim import serial_rank_sim
+from ..simulate.sublist_sim import SimSublistConfig, sublist_rank_sim
+from ..simulate.wyllie_sim import wyllie_rank_sim
+
+__all__ = [
+    "figure1_series",
+    "figure3_series",
+    "figure4_series",
+    "figure11_series",
+    "figure12_series",
+    "figure14_series",
+    "figure15_series",
+    "write_csv",
+    "ALL_FIGURES",
+]
+
+K = 1024
+
+
+def write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Write one series table as CSV; returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def _sizes(max_k: int) -> List[int]:
+    out = []
+    k = 8
+    while k <= max_k:
+        out.append(k)
+        k *= 4
+    return out
+
+
+def figure1_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
+    """ns/element of the five algorithms on one simulated CPU."""
+    rows = []
+    for size_k in _sizes(max_k):
+        n = size_k * K
+        lst = random_list(n, np.random.default_rng(size_k))
+        rows.append(
+            [
+                n,
+                random_mate_scan_sim(lst, rng=0).ns_per_element,
+                anderson_miller_scan_sim(lst, rng=0).ns_per_element,
+                wyllie_rank_sim(lst).ns_per_element,
+                serial_rank_sim(lst).ns_per_element,
+                sublist_rank_sim(lst, rng=0).ns_per_element,
+            ]
+        )
+    header = ["n", "miller_reif", "anderson_miller", "wyllie", "serial", "ours"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure01.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+def figure3_series(max_k: int = 512, out_dir: Optional[str] = None) -> Dict:
+    """Wyllie ns/element on 1/2/4/8 CPUs over dense sizes (sawtooth)."""
+    bases = [1 << k for k in range(8, int(np.log2(max_k * K)) + 1)]
+    sizes = sorted({x for b in bases for x in (b - 1, b + 2, b + (b >> 1))})
+    rows = []
+    for n in sizes:
+        lst = random_list(n, np.random.default_rng(n))
+        rows.append(
+            [n]
+            + [
+                wyllie_rank_sim(lst, n_processors=p).ns_per_element
+                for p in (1, 2, 4, 8)
+            ]
+        )
+    header = ["n", "p1", "p2", "p4", "p8"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure03.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+def figure4_series(out_dir: Optional[str] = None) -> Dict:
+    """Relative speedup of the sublist algorithm vs processor count."""
+    rows = []
+    for p in range(1, 9):
+        row = [p]
+        for size_k in (8, 128, 2048):
+            n = size_k * K
+            lst = random_list(n, np.random.default_rng(size_k))
+            base = sublist_rank_sim(lst, n_processors=1, rng=0).cycles
+            row.append(base / sublist_rank_sim(lst, n_processors=p, rng=0).cycles)
+        rows.append(row)
+    header = ["p", "speedup_8K", "speedup_128K", "speedup_2048K"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure04.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+def figure11_series(out_dir: Optional[str] = None) -> Dict:
+    """Expected and observed i-th shortest sublist lengths (n=1000)."""
+    n = 1000
+    rows = []
+    rng = np.random.default_rng(11)
+    for m in (100, 150, 200):
+        obs = empirical_order_stats(n, m, samples=20, rng=rng)
+        idx = np.arange(1, m + 2)
+        exp = expected_order_stat(idx, n, m)
+        for i in range(m + 1):
+            rows.append([m, i + 1, exp[i], obs["mean"][i], obs["min"][i], obs["max"][i]])
+    header = ["m", "order_index", "expected", "observed_mean", "observed_min", "observed_max"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure11.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+def figure12_series(out_dir: Optional[str] = None) -> Dict:
+    """g(s) curve and the optimal pack points (n=10000, m=200)."""
+    n, m = 10_000, 200
+    sch = optimal_schedule(n, m, 14.7)
+    s_axis = np.linspace(0, float(sch[-1]), 200)
+    rows = [[float(s), float(expected_live_sublists(s, n, m)), 0] for s in s_axis]
+    rows += [[float(s), float(expected_live_sublists(s, n, m)), 1] for s in sch]
+    header = ["s", "g", "is_pack_point"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure12.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+def figure14_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
+    """Predicted vs measured ns/element, one CPU."""
+    rows = []
+    for size_k in _sizes(max_k):
+        n = size_k * K
+        pred = predict_run(n)
+        lst = random_list(n, np.random.default_rng(size_k))
+        meas = sublist_rank_sim(
+            lst, sim_config=SimSublistConfig(m=pred.m, s1=pred.s1), rng=0
+        )
+        rows.append([n, pred.ns_per_element, meas.ns_per_element])
+    header = ["n", "predicted_ns_per_elem", "measured_ns_per_elem"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure14.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+def figure15_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
+    """Sublist algorithm ns/element on 1/2/4/8 CPUs."""
+    rows = []
+    for size_k in _sizes(max_k):
+        n = size_k * K
+        lst = random_list(n, np.random.default_rng(size_k))
+        rows.append(
+            [n]
+            + [
+                sublist_rank_sim(lst, n_processors=p, rng=0).ns_per_element
+                for p in (1, 2, 4, 8)
+            ]
+        )
+    header = ["n", "p1", "p2", "p4", "p8"]
+    if out_dir:
+        write_csv(os.path.join(out_dir, "figure15.csv"), header, rows)
+    return {"header": header, "rows": rows}
+
+
+ALL_FIGURES = {
+    "fig01": figure1_series,
+    "fig03": figure3_series,
+    "fig04": figure4_series,
+    "fig11": figure11_series,
+    "fig12": figure12_series,
+    "fig14": figure14_series,
+    "fig15": figure15_series,
+}

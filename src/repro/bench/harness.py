@@ -1,0 +1,130 @@
+"""Experiment harness: table formatting and paper-vs-measured records.
+
+Every benchmark module regenerates one table or figure of the paper.
+The harness gives them a common way to (a) print the regenerated
+rows/series in a readable fixed-width table and (b) record the headline
+paper-vs-measured comparisons that ``EXPERIMENTS.md`` documents.
+Records accumulate in a process-wide registry; the benchmark session
+prints a summary at the end via the ``conftest`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ExperimentRecord",
+    "record",
+    "all_records",
+    "clear_records",
+    "format_table",
+    "print_table",
+    "summary_lines",
+]
+
+_REGISTRY: List["ExperimentRecord"] = []
+
+
+@dataclass
+class ExperimentRecord:
+    """One paper-vs-measured data point.
+
+    ``ok`` is a loose qualitative check ("shape holds"), typically that
+    the measured value is within the stated factor of the paper's, or
+    that an ordering claim holds.
+    """
+
+    experiment: str  #: e.g. "fig14"
+    claim: str  #: human-readable description of the quantity
+    paper: Optional[float]
+    measured: float
+    unit: str = ""
+    ok: bool = True
+    note: str = ""
+
+
+def record(
+    experiment: str,
+    claim: str,
+    paper: Optional[float],
+    measured: float,
+    unit: str = "",
+    ok: bool = True,
+    note: str = "",
+) -> ExperimentRecord:
+    """Register one paper-vs-measured comparison."""
+    rec = ExperimentRecord(
+        experiment=experiment,
+        claim=claim,
+        paper=paper,
+        measured=measured,
+        unit=unit,
+        ok=ok,
+        note=note,
+    )
+    _REGISTRY.append(rec)
+    return rec
+
+
+def all_records() -> List[ExperimentRecord]:
+    """All records accumulated so far (in registration order)."""
+    return list(_REGISTRY)
+
+
+def clear_records() -> None:
+    _REGISTRY.clear()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table; floats rendered with 3 significant
+    decimals, right-aligned numerics."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.3g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def summary_lines() -> List[str]:
+    """One line per record, for the end-of-session summary."""
+    lines = []
+    for rec in _REGISTRY:
+        paper = f"{rec.paper:.3g}" if rec.paper is not None else "—"
+        status = "OK " if rec.ok else "DIFF"
+        lines.append(
+            f"[{status}] {rec.experiment:<10} {rec.claim}: paper={paper} "
+            f"measured={rec.measured:.3g} {rec.unit} {rec.note}".rstrip()
+        )
+    return lines

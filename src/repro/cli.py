@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-c90`` script.
+
+Subcommands
+-----------
+
+``rank``      rank a generated list with a chosen algorithm, report timing
+``scan``      scan a generated list under an operator
+``simulate``  run an algorithm on the simulated Cray C-90 / Y-MP and
+              print the cycle breakdown
+``tune``      show the model-tuned parameters and pack schedule for a size
+``figures``   dump the CSV series of the paper's figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .analysis.predict import predict_run
+from .bench.figures import ALL_FIGURES
+from .core.list_scan import ALGORITHMS, list_rank, list_scan
+from .core.schedule import optimal_schedule
+from .core.tuning import tuned_parameters
+from .lists.generate import blocked_list, ordered_list, random_list
+from .machine.config import CRAY_C90, CRAY_YMP
+from .simulate.serial_sim import serial_scan_sim
+from .simulate.sublist_sim import sublist_scan_sim
+from .simulate.wyllie_sim import wyllie_scan_sim
+
+__all__ = ["main", "build_parser"]
+
+_LAYOUTS = {
+    "random": lambda n, rng: random_list(n, rng),
+    "ordered": lambda n, rng: ordered_list(n),
+    "blocked": lambda n, rng: blocked_list(n, 64, rng),
+}
+
+_MACHINES = {"c90": CRAY_C90, "ymp": CRAY_YMP}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-c90",
+        description="List ranking and list scan on the (simulated) Cray C-90",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-n", type=int, default=1 << 20, help="list length")
+        p.add_argument(
+            "--layout", choices=sorted(_LAYOUTS), default="random",
+            help="memory layout of the generated list",
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    p_rank = sub.add_parser("rank", help="rank a generated list")
+    common(p_rank)
+    p_rank.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="sublist"
+    )
+
+    p_scan = sub.add_parser("scan", help="scan a generated list")
+    common(p_scan)
+    p_scan.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="sublist"
+    )
+    p_scan.add_argument(
+        "--op", default="sum", help="operator name (sum, max, min, …)"
+    )
+    p_scan.add_argument("--inclusive", action="store_true")
+
+    p_sim = sub.add_parser("simulate", help="run on the simulated machine")
+    common(p_sim)
+    p_sim.add_argument(
+        "--algorithm", choices=("sublist", "wyllie", "serial"), default="sublist"
+    )
+    p_sim.add_argument("--machine", choices=sorted(_MACHINES), default="c90")
+    p_sim.add_argument("-p", "--processors", type=int, default=1)
+
+    p_tune = sub.add_parser("tune", help="model-tuned parameters for a size")
+    p_tune.add_argument("-n", type=int, default=1 << 20)
+
+    p_fig = sub.add_parser("figures", help="dump figure CSV series")
+    p_fig.add_argument(
+        "--out", default="figures", help="output directory for CSV files"
+    )
+    p_fig.add_argument(
+        "--only",
+        choices=sorted(ALL_FIGURES),
+        default=None,
+        help="dump a single figure",
+    )
+    return parser
+
+
+def _make_list(args: argparse.Namespace):
+    rng = np.random.default_rng(args.seed)
+    lst = _LAYOUTS[args.layout](args.n, rng)
+    return lst, rng
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    lst, rng = _make_list(args)
+    t0 = time.perf_counter()
+    ranks = list_rank(lst, algorithm=args.algorithm, rng=rng)
+    dt = time.perf_counter() - t0
+    print(f"ranked {args.n:,} nodes with {args.algorithm} in {dt:.3f}s "
+          f"({1e9 * dt / args.n:.1f} ns/element host time)")
+    print(f"head rank {ranks[lst.head]}, tail rank {ranks[lst.tail]}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    lst, rng = _make_list(args)
+    t0 = time.perf_counter()
+    out = list_scan(
+        lst, args.op, inclusive=args.inclusive,
+        algorithm=args.algorithm, rng=rng,
+    )
+    dt = time.perf_counter() - t0
+    kind = "inclusive" if args.inclusive else "exclusive"
+    print(f"{kind} {args.op}-scan of {args.n:,} nodes with "
+          f"{args.algorithm} in {dt:.3f}s")
+    print(f"scan at tail = {out[lst.tail]}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    lst, rng = _make_list(args)
+    config = _MACHINES[args.machine]
+    if args.algorithm == "sublist":
+        res = sublist_scan_sim(lst, config=config,
+                               n_processors=args.processors, rng=rng)
+    elif args.algorithm == "wyllie":
+        res = wyllie_scan_sim(lst, config=config, n_processors=args.processors)
+    else:
+        res = serial_scan_sim(lst, config=config)
+    print(f"{args.algorithm} on {res.config.name}, "
+          f"{res.n_processors} CPU(s), n = {args.n:,}")
+    print(f"  {res.cycles:,.0f} clocks = {res.time_ns / 1e6:.3f} ms simulated")
+    print(f"  {res.cycles_per_element:.2f} clocks/element "
+          f"({res.ns_per_element:.1f} ns/element)")
+    if res.breakdown:
+        print("  breakdown:")
+        for name, cyc in sorted(res.breakdown.items(), key=lambda kv: -kv[1]):
+            print(f"    {name:<20} {cyc:>14,.0f}  ({100 * cyc / res.cycles:4.1f}%)")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    n = args.n
+    m, s1 = tuned_parameters(n)
+    sch = optimal_schedule(n, m, s1)
+    pred = predict_run(n)
+    print(f"n = {n:,}")
+    print(f"tuned m  = {m} sublists (mean length {n / m:.1f})")
+    print(f"tuned S1 = {s1:.2f} traversal steps before the first pack")
+    print(f"schedule = {len(sch)} packs, last at step {sch[-1]:.0f}")
+    print(f"predicted: {pred.clocks_per_element:.2f} clocks/element "
+          f"({pred.ns_per_element:.1f} ns/element on the C-90)")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = [args.only] if args.only else sorted(ALL_FIGURES)
+    for name in names:
+        print(f"generating {name} …", flush=True)
+        ALL_FIGURES[name](out_dir=args.out)
+    print(f"CSV series written to {args.out}/")
+    return 0
+
+
+_COMMANDS = {
+    "rank": _cmd_rank,
+    "scan": _cmd_scan,
+    "simulate": _cmd_simulate,
+    "tune": _cmd_tune,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

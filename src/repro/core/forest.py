@@ -1,0 +1,394 @@
+"""Forest scan: list scan over many linked lists simultaneously.
+
+A *forest* is a set of disjoint linked lists sharing one node array:
+each list has its own head and its own self-loop tail.  Scanning all of
+them in one vectorized pass is the natural generalization of the
+paper's algorithm — the virtual-processor machinery never cared that
+the sublists came from one list — and it is the building block for the
+paper's Section 6 early-reconnection idea (see
+``repro.core.early_reconnect``): the straggler suffixes left when the
+vector gets short are exactly a forest.
+
+The implementation mirrors ``core.sublist`` phase by phase:
+
+* splitters are drawn from the whole node set (excluding tails),
+  subdividing every list into sublists;
+* Phase 1 reduces each sublist to its sum;
+* the write-index/read-back trick links the sublist sums into a
+  *reduced forest* — one reduced chain per original list (a sublist
+  whose tail is an original tail reads no index and terminates its
+  chain);
+* Phase 2 scans the reduced forest serially, with a forest variant of
+  Wyllie, or recursively;
+* Phase 3 expands the carries; per-list ``carries`` seed the first
+  sublist of each chain.
+
+Public entry point: :func:`forest_list_scan`.  It can also return the
+*list id* of every node (which original list it belongs to) — a useful
+by-product computed from the reduced forest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
+from ..core.operators import Operator, SUM, get_operator
+from ..core.schedule import ScheduleIterator, optimal_schedule
+from ..core.stats import ScanStats
+from ..core.tuning import SERIAL_CUTOFF, WYLLIE_CUTOFF, tuned_parameters
+from ..lists.generate import INDEX_DTYPE
+
+__all__ = [
+    "forest_list_scan",
+    "serial_forest_scan",
+    "wyllie_forest_scan",
+    "forest_tails",
+]
+
+
+def forest_tails(nxt: np.ndarray, heads: np.ndarray) -> np.ndarray:
+    """Tail (self-loop) of each list in the forest, by pointer doubling."""
+    ptr = nxt.copy()
+    n = nxt.shape[0]
+    rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    for _ in range(rounds):
+        ptr = ptr[ptr]
+    return ptr[heads]
+
+
+def serial_forest_scan(
+    nxt: np.ndarray,
+    values: np.ndarray,
+    heads: np.ndarray,
+    op: Operator,
+    carries: Optional[np.ndarray],
+    out: np.ndarray,
+) -> None:
+    """Scalar reference: exclusive scan of each list, seeded by its carry."""
+    op = get_operator(op)
+    limit = nxt.shape[0]
+    for k in range(heads.shape[0]):
+        acc = (
+            carries[k]
+            if carries is not None
+            else op.identity_for(values.dtype)
+        )
+        cur = int(heads[k])
+        for _ in range(limit):
+            out[cur] = acc
+            acc = op.combine(acc, values[cur])
+            succ = int(nxt[cur])
+            if succ == cur:
+                break
+            cur = succ
+        else:
+            raise ValueError(
+                "forest chain did not terminate within the node count"
+            )
+
+
+def wyllie_forest_scan(
+    nxt: np.ndarray,
+    values: np.ndarray,
+    heads: np.ndarray,
+    op: Operator,
+    carries: Optional[np.ndarray],
+    out: np.ndarray,
+    stats: Optional[ScanStats] = None,
+) -> None:
+    """Pointer jumping over a forest — every chain jumps independently.
+
+    Uses the predecessor (prefix) dataflow so any associative operator
+    works: each node's working value converges to the ⊕-sum of its
+    chain prefix (heads pinned at the identity), and the per-chain head
+    value plus carry are folded in at the end via the converged
+    head-pointer map.
+    """
+    op = get_operator(op)
+    n = nxt.shape[0]
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    pred = np.empty(n, dtype=INDEX_DTYPE)
+    pred[heads] = heads
+    proper = nxt != idx
+    pred[nxt[proper]] = idx[proper]
+
+    ident = op.identity_for(values.dtype)
+    work = values.copy()
+    work[heads] = ident
+    ptr = pred.copy()
+    rounds = max(0, int(np.ceil(np.log2(max(n - 1, 2)))) if n > 2 else 0)
+    for _ in range(rounds):
+        work = op.combine(work[ptr], work)
+        ptr = ptr[ptr]
+        if stats is not None:
+            stats.add_round()
+            stats.add_work(n, phase="wyllie_forest")
+            stats.add_gather(3 * n)
+    # ptr now maps every node to its chain head; fold head value + carry
+    head_value = values.copy()
+    if carries is not None:
+        head_value[heads] = op.combine(carries, values[heads])
+    # exclusive = (carry ⊕ head_value ⊕ prefix-without-head) shifted:
+    # exclusive[v] = seed_chain ⊕ work_at_pred(v); heads get their seed
+    full = op.combine(head_value[ptr], work[pred])
+    out[...] = full
+    if carries is not None:
+        out[heads] = carries
+    else:
+        out[heads] = ident
+
+
+def forest_list_scan(
+    nxt: np.ndarray,
+    values: np.ndarray,
+    heads: np.ndarray,
+    op: Union[Operator, str] = SUM,
+    carries: Optional[np.ndarray] = None,
+    inclusive: bool = False,
+    m: Optional[int] = None,
+    s1: Optional[float] = None,
+    costs: KernelCosts = PAPER_C90_COSTS,
+    serial_cutoff: int = SERIAL_CUTOFF,
+    wyllie_cutoff: int = WYLLIE_CUTOFF,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+    stats: Optional[ScanStats] = None,
+    out: Optional[np.ndarray] = None,
+    return_list_ids: bool = False,
+    _depth: int = 0,
+) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+    """Exclusive (or inclusive) scan of every list in a forest.
+
+    Parameters
+    ----------
+    nxt, values:
+        Shared node arrays; every list terminates in its own self-loop.
+        Temporarily modified and restored, as in the paper.
+    heads:
+        Head node of each list.
+    carries:
+        Optional per-list seed values (shape like ``values[heads]``);
+        list *k*'s exclusive scan starts at ``carries[k]`` instead of
+        the identity.  This is what the early-reconnect caller uses.
+    return_list_ids:
+        Also return, for every node, the index into ``heads`` of the
+        list containing it.
+
+    Returns the scan array (indexed by node), optionally with the list
+    id array.  Nodes not reachable from any head keep arbitrary values.
+    """
+    op = get_operator(op)
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    heads = np.asarray(heads, dtype=INDEX_DTYPE)
+    n = nxt.shape[0]
+    n_lists = heads.shape[0]
+    if n_lists == 0:
+        raise ValueError("forest must contain at least one list")
+    if out is None:
+        out = np.empty_like(values)
+    ident = op.identity_for(values.dtype)
+    if carries is not None:
+        carries = np.asarray(carries)
+        if carries.shape[0] != n_lists:
+            raise ValueError("carries must have one entry per list")
+
+    # ------------------------------------------------------------------
+    # base cases: serial per chain / forest Wyllie
+    # ------------------------------------------------------------------
+    if n <= serial_cutoff or n < 4 * n_lists or _depth >= 4:
+        serial_forest_scan(nxt, values, heads, op, carries, out)
+        if stats is not None:
+            stats.add_work(n, phase="forest_serial")
+        if return_list_ids:
+            return out, _list_ids(nxt, heads)
+        return out
+
+    if m is None or s1 is None:
+        m_t, s1_t = tuned_parameters(n, costs)
+        m = m if m is not None else max(m_t, 2 * n_lists)
+        s1 = s1 if s1 is not None else s1_t
+    m = int(min(max(m, n_lists + 1), max(n_lists + 1, n // 2)))
+
+    idx_self = np.arange(n, dtype=INDEX_DTYPE)
+    is_tail = nxt == idx_self
+    candidates = idx_self[~is_tail]
+    want = m - n_lists
+    if want > 0 and candidates.size:
+        take = min(want, candidates.size)
+        positions = np.sort(
+            gen.choice(candidates, size=take, replace=False)
+        ).astype(INDEX_DTYPE)
+    else:
+        positions = np.empty(0, dtype=INDEX_DTYPE)
+    n_split = int(positions.size)
+    m_eff = n_lists + n_split  # total virtual processors / sublists
+
+    # ------------------------------------------------------------------
+    # INITIALIZE: cut at the splitters.  vp layout: [original lists,
+    # splitter-created sublists].
+    # ------------------------------------------------------------------
+    sl_head = np.empty(m_eff, dtype=INDEX_DTYPE)
+    sl_head[:n_lists] = heads
+    sl_head[n_lists:] = nxt[positions]
+    sl_value = op.identity_array(m_eff, values.dtype)
+    sl_value[n_lists:] = values[positions]
+    values[positions] = ident
+    nxt[positions] = positions
+
+    sl_sum = op.identity_array(m_eff, values.dtype)
+    sl_tail = np.full(m_eff, -1, dtype=INDEX_DTYPE)
+    end_tails = np.empty(0, dtype=INDEX_DTYPE)
+    saved_end_values = None
+
+    try:
+        # --------------------------------------------------------------
+        # PHASE 1
+        # --------------------------------------------------------------
+        schedule = optimal_schedule(n, m_eff, s1, costs)
+        gaps = ScheduleIterator(schedule)
+        vp_next = sl_head.copy()
+        vp_sum = op.identity_array(m_eff, values.dtype)
+        vp_proc = np.arange(m_eff, dtype=INDEX_DTYPE)
+        while vp_next.size:
+            gap = next(gaps)
+            x = vp_next.size
+            for _ in range(gap):
+                vp_sum = op.combine(vp_sum, values[vp_next])
+                vp_next = nxt[vp_next]
+            if stats is not None:
+                stats.add_round(gap)
+                stats.add_work(gap * x, phase="forest_phase1")
+            done = vp_next == nxt[vp_next]
+            fin = vp_proc[done]
+            sl_sum[fin] = vp_sum[done]
+            sl_tail[fin] = vp_next[done]
+            keep = ~done
+            vp_next, vp_sum, vp_proc = vp_next[keep], vp_sum[keep], vp_proc[keep]
+            if stats is not None:
+                stats.add_pack()
+
+        # --------------------------------------------------------------
+        # FIND_SUBLIST_LIST: reduced *forest* of sublist sums.
+        # Chains terminate at sublists whose tail is an original tail.
+        # --------------------------------------------------------------
+        nxt[positions] = -(np.arange(n_split, dtype=INDEX_DTYPE) + n_lists)
+        probe = nxt[sl_tail]
+        sl_next = np.where(
+            probe < 0, -probe, np.arange(m_eff, dtype=INDEX_DTYPE)
+        ).astype(INDEX_DTYPE)
+        chain_ends = np.flatnonzero(probe >= 0)  # one per original list
+        end_tails = sl_tail[chain_ends]
+        saved_end_values = values[end_tails].copy()
+        values[end_tails] = ident  # Phase 3 folds these repeatedly
+        nxt[sl_tail] = sl_tail  # restore self-loops
+        addback = sl_value[sl_next]
+        addback[chain_ends] = saved_end_values
+        sl_sum = op.combine(sl_sum, addback)
+        if stats is not None:
+            stats.add_work(m_eff, phase="forest_find_sublist")
+
+        # --------------------------------------------------------------
+        # PHASE 2: scan the reduced forest (chains: one per list).
+        # --------------------------------------------------------------
+        reduced_carries = None
+        if carries is not None:
+            reduced_carries = carries
+        sub_carries = (
+            np.asarray(reduced_carries)
+            if reduced_carries is not None
+            else None
+        )
+        carries_out = np.empty_like(sl_sum)
+        if m_eff > wyllie_cutoff and _depth < 3:
+            res = forest_list_scan(
+                sl_next,
+                sl_sum,
+                np.arange(n_lists, dtype=INDEX_DTYPE),
+                op,
+                carries=sub_carries,
+                serial_cutoff=serial_cutoff,
+                wyllie_cutoff=wyllie_cutoff,
+                rng=gen,
+                stats=stats,
+                out=carries_out,
+                _depth=_depth + 1,
+            )
+            carries_out = res
+        elif m_eff > serial_cutoff:
+            wyllie_forest_scan(
+                sl_next,
+                sl_sum,
+                np.arange(n_lists, dtype=INDEX_DTYPE),
+                op,
+                sub_carries,
+                carries_out,
+                stats=stats,
+            )
+        else:
+            serial_forest_scan(
+                sl_next,
+                sl_sum,
+                np.arange(n_lists, dtype=INDEX_DTYPE),
+                op,
+                sub_carries,
+                carries_out,
+            )
+
+        # --------------------------------------------------------------
+        # PHASE 3: expand along every sublist.
+        # --------------------------------------------------------------
+        gaps3 = ScheduleIterator(schedule)
+        vp_next = sl_head.copy()
+        vp_sum = carries_out
+        while vp_next.size:
+            gap = next(gaps3)
+            x = vp_next.size
+            for _ in range(gap):
+                out[vp_next] = vp_sum
+                vp_sum = op.combine(vp_sum, values[vp_next])
+                vp_next = nxt[vp_next]
+            if stats is not None:
+                stats.add_round(gap)
+                stats.add_work(gap * x, phase="forest_phase3")
+            done = vp_next == nxt[vp_next]
+            if np.any(done):
+                out[vp_next] = vp_sum
+                keep = ~done
+                vp_next, vp_sum = vp_next[keep], vp_sum[keep]
+            if stats is not None:
+                stats.add_pack()
+    finally:
+        # --------------------------------------------------------------
+        # RESTORE
+        # --------------------------------------------------------------
+        if saved_end_values is not None:
+            values[end_tails] = saved_end_values
+        nxt[positions] = sl_head[n_lists:]
+        values[positions] = sl_value[n_lists:]
+
+    if inclusive:
+        out = op.combine(out, values)
+    if return_list_ids:
+        return out, _list_ids(nxt, heads)
+    return out
+
+
+def _list_ids(nxt: np.ndarray, heads: np.ndarray) -> np.ndarray:
+    """Which list (index into ``heads``) each node belongs to.
+
+    Pointer doubling maps every node to its tail; tails map back to the
+    list index.  Unreachable nodes get −1.
+    """
+    n = nxt.shape[0]
+    ptr = nxt.copy()
+    rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    for _ in range(rounds):
+        ptr = ptr[ptr]
+    tails = ptr[heads]
+    ids = np.full(n, -1, dtype=INDEX_DTYPE)
+    tail_to_id = np.full(n, -1, dtype=INDEX_DTYPE)
+    tail_to_id[tails] = np.arange(heads.shape[0], dtype=INDEX_DTYPE)
+    ids = tail_to_id[ptr]
+    return ids

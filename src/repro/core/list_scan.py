@@ -1,0 +1,164 @@
+"""Public dispatch API: one entry point over every implementation.
+
+``list_scan`` / ``list_rank`` select an algorithm by name and handle
+validation, copying and common ergonomics.  This is the interface a
+downstream user of the library sees; the per-algorithm modules remain
+importable for research use.
+
+Algorithms
+----------
+
+==================  ====================================================
+``"sublist"``       the paper's algorithm (default) — work efficient,
+                    small constants; `core.sublist`
+``"wyllie"``        pointer jumping — O(n log n) work; best for short
+                    lists; `baselines.wyllie`
+``"serial"``        direct traversal — the O(n) reference;
+                    `baselines.serial`
+``"random_mate"``   Miller/Reif randomized contraction;
+                    `baselines.random_mate`
+``"anderson_miller"``  Anderson/Miller queued splicing;
+                    `baselines.anderson_miller`
+``"early_reconnect"``  the Section 6 variant: straggler suffixes are
+                    compacted and rescanned at full vector width;
+                    `core.early_reconnect`
+``"auto"``          serial below 4K nodes, sublist above — mirroring
+                    the crossover structure of the paper's Figure 1
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..lists.generate import LinkedList
+from ..lists.validate import validate_list_strict
+from .operators import Operator, SUM, get_operator
+from .stats import ScanStats
+
+__all__ = ["list_scan", "list_rank", "ALGORITHMS"]
+
+#: Crossover below which "auto" uses the serial traversal.  The paper's
+#: crossovers on the C-90 (serial fastest on short lists, the sublist
+#: algorithm on long ones) have the same structure.
+_AUTO_SERIAL_BELOW = 4096
+
+ALGORITHMS = (
+    "sublist",
+    "wyllie",
+    "serial",
+    "random_mate",
+    "anderson_miller",
+    "early_reconnect",
+    "auto",
+)
+
+
+def list_scan(
+    lst: LinkedList,
+    op: Union[Operator, str] = SUM,
+    inclusive: bool = False,
+    algorithm: str = "sublist",
+    validate: bool = False,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+    stats: Optional[ScanStats] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Scan a linked list under a binary associative operator.
+
+    Parameters
+    ----------
+    lst:
+        The linked list (successor array with self-loop tail, head
+        index, per-node values).
+    op:
+        Operator instance or name (``"sum"``, ``"max"``, …).
+    inclusive:
+        Include each node's own value in its result (default: the
+        exclusive prescan, the paper's semantics).
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    validate:
+        Run the strict structural validator first (O(n log n)).
+    rng:
+        Seed or generator for the randomized algorithms.
+    stats:
+        Optional :class:`~repro.core.stats.ScanStats` to fill with
+        work/space accounting.
+    **kwargs:
+        Forwarded to the selected implementation (e.g. ``config=`` for
+        the sublist algorithm, ``variant=`` for Wyllie).
+
+    Returns
+    -------
+    numpy.ndarray
+        Scan values indexed by node.
+    """
+    op = get_operator(op)
+    if validate:
+        validate_list_strict(lst)
+    if algorithm == "auto":
+        algorithm = "serial" if lst.n < _AUTO_SERIAL_BELOW else "sublist"
+
+    if algorithm == "sublist":
+        from .sublist import sublist_list_scan
+
+        return sublist_list_scan(
+            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+        )
+    if algorithm == "wyllie":
+        from ..baselines.wyllie import wyllie_list_scan
+
+        return wyllie_list_scan(lst, op, inclusive=inclusive, stats=stats, **kwargs)
+    if algorithm == "serial":
+        from ..baselines.serial import serial_list_scan
+
+        return serial_list_scan(lst, op, inclusive=inclusive, **kwargs)
+    if algorithm == "random_mate":
+        from ..baselines.random_mate import random_mate_list_scan
+
+        return random_mate_list_scan(
+            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+        )
+    if algorithm == "anderson_miller":
+        from ..baselines.anderson_miller import anderson_miller_list_scan
+
+        return anderson_miller_list_scan(
+            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+        )
+    if algorithm == "early_reconnect":
+        from .early_reconnect import early_reconnect_list_scan
+
+        return early_reconnect_list_scan(
+            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+        )
+    raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def list_rank(
+    lst: LinkedList,
+    algorithm: str = "sublist",
+    validate: bool = False,
+    rng: Optional[Union[np.random.Generator, int]] = None,
+    stats: Optional[ScanStats] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Rank every node: its link distance from the head (head = 0).
+
+    Equivalent to ``list_scan`` of all-ones values under ``+`` —
+    "list ranking is the list scan where plus is the operator and the
+    values to be summed are all equal to one" (Section 1).
+    """
+    ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
+    return list_scan(
+        ones,
+        SUM,
+        inclusive=False,
+        algorithm=algorithm,
+        validate=validate,
+        rng=rng,
+        stats=stats,
+        **kwargs,
+    )

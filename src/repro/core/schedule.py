@@ -1,0 +1,271 @@
+"""Pack (load-balance) scheduling — paper Sections 4.2–4.3.
+
+Phases 1 and 3 traverse the sublists in lock-step vector steps.  A
+*pack* removes completed sublists from the virtual-processor vectors,
+shortening every subsequent step, but itself costs time proportional to
+the current vector length.  "If we pack too frequently we pack none or
+only a few sublists … If we do not pack often enough, we may have many
+processors performing needless work repeatedly chasing the sublists'
+tails."
+
+With expected live count ``g(s) = m·e^(−m·s/n)`` and per-step costs
+``T_rank(x) = a·x + b``, ``T_pack(x) = c·x + d``, setting
+``∂T/∂S_i = 0`` yields the slope condition (paper Eq. 5)::
+
+    g'(S_i) = (g(S_i) − g(S_{i−1})) / (S_{i+1} − S_i + c/a)
+
+which rearranges into the forward recurrence (paper Eq. 6)::
+
+    S_{i+1} = S_i + (g(S_i) − g(S_{i−1})) / g'(S_i) − c/a
+
+so that two consecutive pack points determine the next.  The paper
+found ``S_1`` to be "a very sensitive parameter": if it is too small
+the recurrence collapses into packing at every step, so — like the
+paper — the generator enforces non-collapsing gaps ("we modified
+Equation 6 so that successive S's are always increasing").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
+from ..analysis.distribution import (
+    expected_live_sublists,
+    expected_longest,
+    live_sublists_derivative,
+)
+
+__all__ = [
+    "optimal_schedule",
+    "uniform_schedule",
+    "every_step_schedule",
+    "integer_gaps",
+    "ScheduleIterator",
+    "numeric_optimal_schedule",
+    "slope_condition_residuals",
+]
+
+_MAX_PACKS = 10_000
+
+
+def optimal_schedule(
+    n: int,
+    m: int,
+    s1: float,
+    costs: KernelCosts = PAPER_C90_COSTS,
+    guard: str = "monotonic_gaps",
+    s_max: Optional[float] = None,
+) -> np.ndarray:
+    """Generate pack points ``S_1 < S_2 < …`` from the Eq. 6 recurrence.
+
+    Parameters
+    ----------
+    n, m:
+        List length and sublist count.
+    s1:
+        First pack point (the free parameter tuned in Section 4.4).
+    costs:
+        Kernel cost table providing the ``c/a`` pack/rank cost ratio.
+    guard:
+        ``"monotonic_gaps"`` (paper's protection: gaps never shrink),
+        ``"positive"`` (gaps merely stay ≥ 1 step), or ``"none"``
+        (raw recurrence; used by the optimality tests on
+        well-conditioned inputs).
+    s_max:
+        Stop once a pack point reaches this depth; defaults to the
+        expected longest sublist ``(n/m)·ln(2(m+1))`` plus one gap.
+
+    Returns
+    -------
+    numpy.ndarray
+        Strictly increasing pack points, the last one ≥ the expected
+        longest sublist (so the expected schedule covers Phase 1).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if s1 <= 0:
+        raise ValueError("s1 must be positive")
+    if guard not in ("monotonic_gaps", "positive", "none"):
+        raise ValueError(f"unknown guard {guard!r}")
+    if s_max is None:
+        s_max = expected_longest(n, m)
+    c_over_a = costs.c / costs.a
+
+    points = [float(s1)]
+    prev, cur = 0.0, float(s1)
+    while cur < s_max and len(points) < _MAX_PACKS:
+        g_prev = expected_live_sublists(prev, n, m)
+        g_cur = expected_live_sublists(cur, n, m)
+        dg = live_sublists_derivative(cur, n, m)
+        gap = (g_cur - g_prev) / dg - c_over_a
+        if guard == "monotonic_gaps":
+            gap = max(gap, cur - prev)
+        elif guard == "positive":
+            gap = max(gap, 1.0)
+        else:
+            if gap <= 0:
+                raise ValueError(
+                    f"recurrence collapsed at S={cur:.3f} (gap={gap:.3f}); "
+                    "s1 is too small for guard='none'"
+                )
+        prev, cur = cur, cur + gap
+        points.append(cur)
+    # the traversal loop stops when every sublist is done, so there is
+    # no value in a final pack point far beyond the expected longest
+    # sublist: clamp the overshoot (the numeric optimizer pins its last
+    # point at s_max for the same reason).
+    if len(points) >= 2 and points[-1] > s_max:
+        points[-1] = max(points[-2] + 1.0, s_max)
+    return np.asarray(points, dtype=np.float64)
+
+
+def uniform_schedule(n: int, m: int, n_packs: int, s_max: Optional[float] = None) -> np.ndarray:
+    """Evenly spaced pack points: "divide l into the expected length of
+    the longest sublist and pack every fixed number of intervals" — the
+    naive baseline the paper argues against (Section 4.3)."""
+    if n_packs < 1:
+        raise ValueError("n_packs must be >= 1")
+    if s_max is None:
+        s_max = expected_longest(n, m)
+    return np.linspace(s_max / n_packs, s_max, n_packs)
+
+
+def every_step_schedule(n: int, m: int, s_max: Optional[float] = None) -> np.ndarray:
+    """Pack after every single traversal step (minimum wasted work,
+    maximum pack overhead) — the other ablation endpoint."""
+    if s_max is None:
+        s_max = expected_longest(n, m)
+    return np.arange(1.0, math.ceil(s_max) + 1.0)
+
+
+def integer_gaps(schedule: Sequence[float]) -> np.ndarray:
+    """Convert real-valued pack points into executable integer step
+    counts ``s_i ≥ 1`` between consecutive packs."""
+    pts = np.asarray(schedule, dtype=np.float64)
+    rounded = np.maximum(np.round(pts).astype(np.int64), 1)
+    rounded = np.maximum.accumulate(rounded)
+    # deduplicate: strictly increasing integer pack points
+    gaps = np.diff(np.concatenate(([0], rounded)))
+    gaps = gaps[gaps > 0]
+    if gaps.size == 0:
+        gaps = np.asarray([1], dtype=np.int64)
+    return gaps.astype(np.int64)
+
+
+class ScheduleIterator:
+    """Endless supply of traversal step counts between packs.
+
+    Yields the integer gaps of the supplied schedule; once exhausted it
+    keeps yielding the last gap scaled by ``tail_growth`` (the actual
+    longest sublist can exceed its expectation, so Phase 1/3's
+    ``while vp.n > 0`` loop may need more packs than the expected
+    schedule provides).
+    """
+
+    def __init__(self, schedule: Sequence[float], tail_growth: float = 1.5):
+        self._gaps = integer_gaps(schedule)
+        if tail_growth < 1.0:
+            raise ValueError("tail_growth must be >= 1")
+        self._tail_growth = tail_growth
+        self._pos = 0
+        self._last = float(self._gaps[-1])
+
+    def __iter__(self) -> Iterator[int]:
+        return self
+
+    def __next__(self) -> int:
+        if self._pos < self._gaps.size:
+            gap = int(self._gaps[self._pos])
+            self._pos += 1
+            return gap
+        self._last *= self._tail_growth
+        return max(1, int(round(self._last)))
+
+
+def slope_condition_residuals(
+    schedule: Sequence[float],
+    n: int,
+    m: int,
+    costs: KernelCosts = PAPER_C90_COSTS,
+) -> np.ndarray:
+    """Residuals of the Eq. 5 optimality condition at each interior
+    pack point (zero ⇔ locally optimal).  Used by Figure 13's bench and
+    by the property tests."""
+    pts = np.concatenate(([0.0], np.asarray(schedule, dtype=np.float64)))
+    res = []
+    for i in range(1, len(pts) - 1):
+        g_prev = expected_live_sublists(pts[i - 1], n, m)
+        g_cur = expected_live_sublists(pts[i], n, m)
+        dg = live_sublists_derivative(pts[i], n, m)
+        lhs = dg
+        rhs = (g_cur - g_prev) / (pts[i + 1] - pts[i] + costs.c / costs.a)
+        res.append(lhs - rhs)
+    return np.asarray(res, dtype=np.float64)
+
+
+def numeric_optimal_schedule(
+    n: int,
+    m: int,
+    n_packs: int,
+    costs: KernelCosts = PAPER_C90_COSTS,
+    iterations: int = 2000,
+) -> np.ndarray:
+    """Directly minimize the Eq. 4 objective over ``n_packs`` pack points.
+
+    Coordinate descent with golden-section line search on each interior
+    point; the final point is pinned at the expected longest sublist.
+    Independent of the recurrence — the test suite uses it to verify
+    that Eq. 6 reproduces the true optimum.
+    """
+    if n_packs < 1:
+        raise ValueError("n_packs must be >= 1")
+    s_max = expected_longest(n, m)
+    pts = np.linspace(s_max / n_packs, s_max, n_packs)
+
+    def objective(points: np.ndarray) -> float:
+        full = np.concatenate(([0.0], points))
+        if np.any(np.diff(full) <= 0):
+            return math.inf
+        g_vals = expected_live_sublists(full[:-1], n, m)
+        gaps = np.diff(full)
+        rank = float(np.sum(gaps * (costs.a * g_vals + costs.b)))
+        pack = float(np.sum(costs.c * g_vals + costs.d))
+        return rank + pack
+
+    def golden(lo: float, hi: float, fn, tol: float = 1e-6) -> float:
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        x1 = hi - phi * (hi - lo)
+        x2 = lo + phi * (hi - lo)
+        f1, f2 = fn(x1), fn(x2)
+        while hi - lo > tol:
+            if f1 < f2:
+                hi, x2, f2 = x2, x1, f1
+                x1 = hi - phi * (hi - lo)
+                f1 = fn(x1)
+            else:
+                lo, x1, f1 = x1, x2, f2
+                x2 = lo + phi * (hi - lo)
+                f2 = fn(x2)
+        return (lo + hi) / 2.0
+
+    for _ in range(max(1, iterations // max(n_packs, 1))):
+        moved = 0.0
+        for i in range(n_packs - 1):  # last point stays pinned at s_max
+            lo = pts[i - 1] if i > 0 else 0.0
+            hi = pts[i + 1]
+
+            def fn(x: float, i: int = i) -> float:
+                trial = pts.copy()
+                trial[i] = x
+                return objective(trial)
+
+            new = golden(lo + 1e-9, hi - 1e-9, fn)
+            moved = max(moved, abs(new - pts[i]))
+            pts[i] = new
+        if moved < 1e-7:
+            break
+    return pts

@@ -1,0 +1,123 @@
+"""Segmented scans: operator lifting for per-segment prefix sums.
+
+The classic trick from the scan literature (paper reference [6]): to
+scan many segments laid head-to-tail in one list without letting values
+flow across boundaries, lift the operator to (flag, value) pairs::
+
+    (f₁, v₁) ⊕̂ (f₂, v₂) = (f₁ ∨ f₂,  v₂ if f₂ else v₁ ⊕ v₂)
+
+The lifted operator is associative whenever ⊕ is, so *any* of this
+library's scan algorithms — serial, Wyllie, random mate, the sublist
+algorithm — segments correctly without modification.  A flag marks the
+first node of a segment.
+
+This gives a second route to multi-list scans, complementary to
+``core.forest``: the forest scan keeps lists physically separate, while
+segmented scan concatenates them and separates logically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..lists.generate import LinkedList
+from .list_scan import list_scan
+from .operators import Operator, SUM, get_operator
+
+__all__ = [
+    "segmented_operator",
+    "pack_segmented_values",
+    "segmented_list_scan",
+]
+
+
+def segmented_operator(op: Union[Operator, str]) -> Operator:
+    """Lift a scalar operator to segmented (flag, value) pairs.
+
+    Values are rows ``(flag, value)`` with flag ∈ {0, 1}.  The lifted
+    identity is ``(0, identity)``.  Only scalar base operators are
+    supported (the flag occupies the extra component).
+    """
+    base = get_operator(op)
+    if base.value_width:
+        raise ValueError("segmented lifting requires a scalar base operator")
+
+    def combine(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        left = np.asarray(left)
+        right = np.asarray(right)
+        out = np.empty(
+            np.broadcast_shapes(left.shape, right.shape), dtype=left.dtype
+        )
+        f1, v1 = left[..., 0], left[..., 1]
+        f2, v2 = right[..., 0], right[..., 1]
+        out[..., 0] = np.maximum(f1, f2)
+        crossed = base.combine(v1, v2)
+        out[..., 1] = np.where(f2 != 0, v2, crossed)
+        return out
+
+    ident_val = base.identity
+    if ident_val is None:
+        # dtype-dependent identity (min/max): defer via a subclass-like
+        # closure is overkill; use int64 extreme, adequate for the
+        # integer workloads this library scans.
+        ident_val = int(base.identity_for(np.int64))
+    return Operator(
+        name=f"segmented_{base.name}",
+        combine=combine,
+        identity=(0, ident_val),
+        value_width=2,
+        commutative=False,
+    )
+
+
+def pack_segmented_values(
+    values: np.ndarray, segment_heads: np.ndarray
+) -> np.ndarray:
+    """Build the (flag, value) rows for a segmented scan.
+
+    ``segment_heads`` are node indices that start a new segment (the
+    list head is implicitly a segment start and need not be listed).
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("segmented packing requires scalar values")
+    n = values.shape[0]
+    rows = np.zeros((n, 2), dtype=values.dtype)
+    rows[:, 1] = values
+    rows[np.asarray(segment_heads), 0] = 1
+    return rows
+
+
+def segmented_list_scan(
+    lst: LinkedList,
+    segment_heads: np.ndarray,
+    op: Union[Operator, str] = SUM,
+    inclusive: bool = False,
+    algorithm: str = "sublist",
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> np.ndarray:
+    """Per-segment exclusive (or inclusive) scan along one linked list.
+
+    Segments are delimited by ``segment_heads`` (plus the list head);
+    each segment scans independently, and the result is the plain value
+    column (flags stripped).  The exclusive scan of a segment's first
+    node is the operator identity.
+    """
+    base = get_operator(op)
+    seg_op = segmented_operator(base)
+    rows = pack_segmented_values(lst.values, segment_heads)
+    seg_list = LinkedList(lst.next, lst.head, rows)
+    out = list_scan(
+        seg_list, seg_op, inclusive=inclusive, algorithm=algorithm, rng=rng
+    )
+    result = out[:, 1].copy()
+    if not inclusive:
+        # an exclusive lifted scan hands each segment head the previous
+        # segment's total; the segment semantics want the identity there
+        ident = base.identity_for(lst.values.dtype)
+        heads = np.asarray(segment_heads)
+        result[heads] = ident
+        result[lst.head] = ident
+    return result

@@ -1,0 +1,24 @@
+"""Linked-list substrate: generators, validators, conversions."""
+
+from .convert import (
+    array_exclusive_scan,
+    array_inclusive_scan,
+    list_from_array,
+    rank_to_order,
+    reorder_by_rank,
+)
+from .generate import (
+    INDEX_DTYPE,
+    LinkedList,
+    blocked_list,
+    from_order,
+    list_order,
+    ordered_list,
+    pathological_bank_list,
+    random_list,
+    random_values,
+    reversed_list,
+    unit_values,
+)
+from .validate import ListStructureError, is_valid_list, validate_list, validate_list_strict
+from .mutate import concatenate, extract, reverse, splice_out, split_after

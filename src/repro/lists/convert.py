@@ -1,0 +1,108 @@
+"""Conversions between linked lists, ranks, permutations and arrays.
+
+The paper motivates list ranking as the primitive that lets a linked
+list be reordered into an array "in one parallel step" (Section 1), so
+that ordinary array scans can then be applied.  This module implements
+that composition:
+
+* :func:`rank_to_order` — turn the rank array produced by list ranking
+  into the permutation that lists nodes in list order.
+* :func:`reorder_by_rank` — the single scatter step that moves node
+  payloads into array order.
+* :func:`array_exclusive_scan` / :func:`array_inclusive_scan` — plain
+  array prescans used after reordering (and by the test oracle).
+* :func:`list_from_array` — inverse construction for round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.operators import Operator, SUM
+from .generate import INDEX_DTYPE, LinkedList, from_order
+
+__all__ = [
+    "rank_to_order",
+    "reorder_by_rank",
+    "array_exclusive_scan",
+    "array_inclusive_scan",
+    "list_from_array",
+]
+
+
+def rank_to_order(rank: np.ndarray) -> np.ndarray:
+    """Invert a rank array into the list-order permutation.
+
+    ``rank[i]`` is the position of node ``i`` in list order; the result
+    ``order`` satisfies ``order[rank[i]] == i``, i.e. ``order[k]`` is
+    the node at position ``k``.  Raises if ``rank`` is not a
+    permutation of ``0 … n−1``.
+    """
+    rank = np.asarray(rank)
+    n = rank.shape[0]
+    order = np.full(n, -1, dtype=INDEX_DTYPE)
+    order[rank] = np.arange(n, dtype=INDEX_DTYPE)
+    if np.any(order < 0):
+        raise ValueError("rank array is not a permutation of 0..n-1")
+    return order
+
+
+def reorder_by_rank(payload: np.ndarray, rank: np.ndarray) -> np.ndarray:
+    """Scatter node payloads into list order — the paper's "one parallel step".
+
+    ``result[rank[i]] = payload[i]``.
+    """
+    payload = np.asarray(payload)
+    rank = np.asarray(rank)
+    if payload.shape[0] != rank.shape[0]:
+        raise ValueError("payload and rank must have the same length")
+    out = np.empty_like(payload)
+    out[rank] = payload
+    return out
+
+
+def array_exclusive_scan(
+    values: np.ndarray, op: Operator = SUM, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Exclusive prescan of a plain array under ``op``.
+
+    ``out[k] = values[0] ⊕ … ⊕ values[k−1]`` with ``out[0]`` the
+    operator identity.  This is the array primitive the paper's scan
+    work builds on (Chatterjee/Blelloch/Zagha, reference [6]).
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if out is None:
+        out = np.empty_like(values)
+    if n == 0:
+        return out
+    inclusive = op.accumulate(values)
+    out[0] = op.identity_for(values.dtype)
+    out[1:] = inclusive[:-1]
+    return out
+
+
+def array_inclusive_scan(
+    values: np.ndarray, op: Operator = SUM, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Inclusive scan of a plain array under ``op``."""
+    values = np.asarray(values)
+    if out is None:
+        return op.accumulate(values)
+    out[...] = op.accumulate(values)
+    return out
+
+
+def list_from_array(
+    values: np.ndarray,
+    order: Optional[np.ndarray] = None,
+) -> LinkedList:
+    """Build a linked list whose list order is ``order`` (default: 0…n−1)
+    carrying ``values`` as node payloads (``values`` indexed by node)."""
+    values = np.asarray(values)
+    n = values.shape[0]
+    if order is None:
+        order = np.arange(n, dtype=INDEX_DTYPE)
+    return from_order(np.asarray(order, dtype=INDEX_DTYPE), values)

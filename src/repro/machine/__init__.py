@@ -1,0 +1,17 @@
+"""Simulated Cray vector-multiprocessor substrate."""
+
+from .calibration import (
+    KernelModel,
+    compare_with_paper,
+    derive_rates,
+    paper_equations,
+    to_kernel_costs,
+)
+from .config import CRAY_C90, CRAY_YMP, DECSTATION_5000, MachineConfig
+from .memory import (
+    conflict_cycles,
+    estimate_conflict_cycles,
+    exact_conflict_cycles,
+)
+from .multiproc import combine_parallel, make_vms, shard_slices
+from .vm import CycleLedger, VectorVM

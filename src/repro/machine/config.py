@@ -1,0 +1,170 @@
+"""Machine models for the simulated vector multiprocessors.
+
+The paper's platform is the Cray C-90: up to 16 vector CPUs, each with
+128-element vector registers, dual vector pipes, pipelined functional
+units, and a multistage network to a heavily banked shared memory
+(Section 1.1 and Section 3).  The essential performance facts the
+algorithms interact with are captured here as a small set of rates (in
+clock cycles per element) and constants (cycles per instruction/strip/
+call):
+
+* stride-1 vector loads/stores stream at better than one word per
+  clock (dual pipes, multiple memory ports);
+* gathers/scatters are indexed and run slower (the paper quotes "about
+  2 clock cycles/element for random access patterns on the CRAY Y-MP";
+  the C-90's dual pipes roughly halve that), plus bank-conflict stalls
+  for unlucky address streams;
+* every vector instruction pays an issue constant and a pipe-fill
+  startup per strip of ``vector_length`` elements;
+* a scalar pointer-chase costs a full memory round trip per element
+  (the serial algorithm's 34 clocks/element).
+
+The ``CRAY_C90`` preset is chosen so that the instruction inventories
+of the sublist kernels (``machine.calibration``) reproduce the paper's
+published timing equations: e.g. the Phase-1 traversal step (2 gathers
++ 1 load + 2 stores + 1 add, 6 instructions) costs
+``2·1.0 + 0.25 + 2·0.25 + 0.2 + 6·8/128 ≈ 3.3`` cycles/element against
+the paper's measured ``3.4``, and the Phase-3 step (adds a scatter and
+a load) ≈ 5.0 against the paper's ``5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "MachineConfig",
+    "CRAY_C90",
+    "CRAY_YMP",
+    "DECSTATION_5000",
+]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Cost model of a vector multiprocessor.
+
+    All ``*_rate`` values are clock cycles per element; constants are
+    cycles.
+    """
+
+    name: str
+    clock_ns: float
+    vector_length: int
+    max_processors: int
+    # --- memory system ---
+    n_banks: int
+    bank_busy: int  #: cycles a bank blocks after an access
+    gather_rate: float  #: conflict-free gather, cycles/element
+    scatter_rate: float  #: conflict-free scatter, cycles/element
+    load_rate: float  #: stride-1 load, cycles/element
+    store_rate: float  #: stride-1 store, cycles/element
+    # --- functional units ---
+    ew_rate: float  #: elementwise arithmetic/compare, cycles/element
+    compress_rate: float  #: pack-under-mask index generation, cycles/element
+    rng_rate: float  #: pseudo-random position generation, cycles/element
+    strip_startup: float  #: pipe-fill cycles per strip per instruction
+    issue_const: float  #: per-vector-instruction issue overhead, cycles
+    call_const: float  #: per-kernel invocation overhead, cycles
+    #: multiplier on the paper-measured scalar overhead constants of the
+    #: kernels (the parts of the b-terms no throughput model explains)
+    overhead_scale: float
+    # --- scalar unit ---
+    scalar_chase: float  #: dependent scalar load chain, cycles/element
+    scalar_call_const: float  #: scalar loop setup cycles
+    # --- multiprocessing ---
+    sync_cycles: float  #: cost of one barrier across CPUs
+    task_start_cycles: float  #: cost of starting a tasked (parallel) loop
+
+    def time_ns(self, cycles: float) -> float:
+        """Convert a cycle count to nanoseconds on this machine."""
+        return cycles * self.clock_ns
+
+    def with_processors(self, p: int) -> "MachineConfig":
+        """A copy advertising ``p`` processors (clamped to the preset max)."""
+        if p < 1:
+            raise ValueError("processor count must be >= 1")
+        return replace(self, max_processors=min(p, self.max_processors))
+
+
+#: The paper's machine: 4.2 ns clock, 128-long vector registers, 16 CPUs.
+CRAY_C90 = MachineConfig(
+    name="CRAY C-90",
+    clock_ns=4.2,
+    vector_length=128,
+    max_processors=16,
+    n_banks=1024,
+    bank_busy=6,
+    gather_rate=1.0,
+    scatter_rate=1.25,
+    load_rate=0.25,
+    store_rate=0.25,
+    ew_rate=0.20,
+    compress_rate=0.80,
+    rng_rate=6.0,
+    strip_startup=8.0,
+    issue_const=13.0,
+    call_const=40.0,
+    overhead_scale=1.0,
+    scalar_chase=34.0,
+    scalar_call_const=255.0,
+    sync_cycles=2000.0,
+    task_start_cycles=16000.0,
+)
+
+#: The previous-generation Cray Y-MP: 6 ns clock, 64-long registers,
+#: 8 CPUs, a single vector pipe per CPU — roughly double the C-90
+#: per-element rates, matching the paper's "about 2 clock
+#: cycles/element" gather figure for the Y-MP.
+CRAY_YMP = MachineConfig(
+    name="CRAY Y-MP",
+    clock_ns=6.0,
+    vector_length=64,
+    max_processors=8,
+    n_banks=256,
+    bank_busy=5,
+    gather_rate=2.0,
+    scatter_rate=2.4,
+    load_rate=0.5,
+    store_rate=0.5,
+    ew_rate=0.4,
+    compress_rate=1.6,
+    rng_rate=8.0,
+    strip_startup=8.0,
+    issue_const=13.0,
+    call_const=40.0,
+    overhead_scale=1.0,
+    scalar_chase=40.0,
+    scalar_call_const=255.0,
+    sync_cycles=1500.0,
+    task_start_cycles=3000.0,
+)
+
+#: A fast 1993 workstation (the paper's scalar comparison point).  A
+#: linked-list traversal misses the cache on essentially every node, so
+#: each element costs a DRAM round trip: ≈26 clocks at 40 MHz ≈ 650 ns
+#: per element — the basis of the paper's "over two orders of magnitude
+#: speedup over a DECstation 5000" claim.
+DECSTATION_5000 = MachineConfig(
+    name="DECstation 5000/240",
+    clock_ns=25.0,
+    vector_length=1,
+    max_processors=1,
+    n_banks=1,
+    bank_busy=1,
+    gather_rate=26.0,
+    scatter_rate=26.0,
+    load_rate=26.0,
+    store_rate=26.0,
+    ew_rate=1.0,
+    compress_rate=26.0,
+    rng_rate=26.0,
+    strip_startup=0.0,
+    issue_const=2.0,
+    call_const=5.0,
+    overhead_scale=0.2,
+    scalar_chase=26.0,
+    scalar_call_const=50.0,
+    sync_cycles=0.0,
+    task_start_cycles=0.0,
+)

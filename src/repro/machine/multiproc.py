@@ -1,0 +1,75 @@
+"""Multiprocessor composition of simulated CPUs (paper Section 5).
+
+"The overall approach is to divide the virtual processors equally among
+the physical vector processors and let vectorization proceed on the
+virtual processor data assigned to the physical processors."  The
+simulated algorithms do exactly that: they shard their virtual-
+processor vectors across ``p`` :class:`~repro.machine.vm.VectorVM`
+instances, run each shard's (identical) control flow, and combine the
+per-CPU ledgers with :func:`combine_parallel` — the parallel region
+costs the *maximum* shard time plus the tasking/synchronisation
+overhead the paper minimizes ("for efficiency, the number of
+synchronization points should be minimized").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .config import CRAY_C90, MachineConfig
+from .vm import VectorVM
+
+__all__ = ["shard_slices", "combine_parallel", "make_vms"]
+
+
+def shard_slices(n_items: int, n_shards: int) -> List[slice]:
+    """Split ``range(n_items)`` into ``n_shards`` contiguous chunks whose
+    sizes differ by at most one ("direct the compiler to divide the
+    loops into equal size chunks, one chunk per processor")."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    base = n_items // n_shards
+    extra = n_items % n_shards
+    out: List[slice] = []
+    start = 0
+    for j in range(n_shards):
+        size = base + (1 if j < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+def make_vms(
+    config: MachineConfig = CRAY_C90,
+    n_processors: int = 1,
+    bank_conflicts: bool = True,
+) -> List[VectorVM]:
+    """One :class:`VectorVM` per simulated CPU."""
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    if n_processors > config.max_processors:
+        raise ValueError(
+            f"{config.name} has at most {config.max_processors} processors"
+        )
+    return [VectorVM(config, bank_conflicts) for _ in range(n_processors)]
+
+
+def combine_parallel(
+    cycles_per_cpu: Sequence[float],
+    config: MachineConfig,
+    n_syncs: int = 1,
+) -> float:
+    """Wall-clock cycles of a parallel region.
+
+    The region completes when the slowest CPU finishes; starting the
+    tasked loop and every synchronisation point add their constants.
+    A single-CPU region carries no tasking overhead — the paper's
+    one-processor code "has no overhead due to multitasking and, hence,
+    performs better on small lists than the multiprocessor version".
+    """
+    cycles = float(np.max(cycles_per_cpu)) if len(cycles_per_cpu) else 0.0
+    if len(cycles_per_cpu) > 1:
+        cycles += config.task_start_cycles + n_syncs * config.sync_cycles
+    return cycles

@@ -1,0 +1,237 @@
+"""The simulated vector processor: executes NumPy array operations while
+charging clock cycles to a ledger.
+
+A :class:`VectorVM` stands in for one Cray CPU.  Every method both
+*performs* the requested array operation (so algorithm results are
+real) and *charges* its cost under the machine model:
+
+``cost(op over x elements) = rate·x + ⌈x / VL⌉·strip_startup + call_const``
+
+plus, for gathers and scatters, the bank-conflict stalls computed from
+the actual address stream (``machine.memory``).  Chained operations —
+the C-90 feeds one functional unit's output straight into another —
+are expressed by passing ``chained=True``, which waives the call
+constant and strip startup for the chained op.
+
+The ledger records per-category cycle totals so benchmarks can print
+per-kernel breakdowns (the Section 3 timing equations come from fitting
+these ledgers; see ``machine.calibration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .config import CRAY_C90, MachineConfig
+from .memory import estimate_conflict_cycles
+
+__all__ = ["VectorVM", "CycleLedger"]
+
+
+@dataclass
+class CycleLedger:
+    """Cycle totals by category plus operation counts."""
+
+    total: float = 0.0
+    by_category: Dict[str, float] = field(default_factory=dict)
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, category: str, cycles: float) -> None:
+        self.total += cycles
+        self.by_category[category] = self.by_category.get(category, 0.0) + cycles
+        self.op_counts[category] = self.op_counts.get(category, 0) + 1
+
+    def merge_max(self, others: "list[CycleLedger]") -> None:  # pragma: no cover
+        raise NotImplementedError("use machine.multiproc.combine_parallel")
+
+
+class VectorVM:
+    """One simulated vector CPU with a cycle ledger.
+
+    Parameters
+    ----------
+    config:
+        Machine model (rates, startups, bank geometry).
+    bank_conflicts:
+        Charge bank-conflict stalls from the real address streams of
+        gathers/scatters.  On by default; the stalls are ≈0 for the
+        random streams the algorithms generate, and large for
+        pathological fixed-stride lists.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig = CRAY_C90,
+        bank_conflicts: bool = True,
+        conflict_sample_every: int = 1,
+    ) -> None:
+        if conflict_sample_every < 1:
+            raise ValueError("conflict_sample_every must be >= 1")
+        self.config = config
+        self.bank_conflicts = bank_conflicts
+        self.conflict_sample_every = conflict_sample_every
+        self._conflict_counter = 0
+        self.ledger = CycleLedger()
+        self._category = "uncategorized"
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles charged so far."""
+        return self.ledger.total
+
+    @property
+    def time_ns(self) -> float:
+        """Total simulated time in nanoseconds."""
+        return self.config.time_ns(self.ledger.total)
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self.ledger = CycleLedger()
+
+    def region(self, category: str) -> "_Region":
+        """Context manager attributing contained charges to ``category``
+        (used for the per-kernel breakdowns of Section 3)."""
+        return _Region(self, category)
+
+    def _charge(self, n: int, rate: float, chained: bool) -> None:
+        cfg = self.config
+        cost = rate * n
+        if not chained:
+            strips = (n + cfg.vector_length - 1) // cfg.vector_length
+            cost += strips * cfg.strip_startup + cfg.call_const
+        self.ledger.charge(self._category, cost)
+
+    def charge_cycles(self, cycles: float, category: Optional[str] = None) -> None:
+        """Charge raw cycles (used for modelled costs like RNG setup)."""
+        self.ledger.charge(category or self._category, float(cycles))
+
+    def _conflicts(self, idx: np.ndarray, issue_rate: float) -> None:
+        """Charge bank-conflict stalls for one indexed access stream.
+
+        With ``conflict_sample_every = k > 1`` only every k-th stream is
+        costed, scaled by k — the hot traversal loops issue thousands of
+        statistically identical streams, so sampling is unbiased and
+        keeps the simulator fast.
+        """
+        if not (self.bank_conflicts and idx.size):
+            return
+        self._conflict_counter += 1
+        k = self.conflict_sample_every
+        if self._conflict_counter % k:
+            return
+        stalls = estimate_conflict_cycles(idx, self.config, issue_rate)
+        if stalls:
+            self.ledger.charge(self._category, stalls * k)
+
+    # ------------------------------------------------------------------
+    # memory operations
+    # ------------------------------------------------------------------
+
+    def gather(
+        self, arr: np.ndarray, idx: np.ndarray, chained: bool = False
+    ) -> np.ndarray:
+        """Indexed vector load: ``arr[idx]``."""
+        self._charge(idx.shape[0], self.config.gather_rate, chained)
+        self._conflicts(idx, self.config.gather_rate)
+        return arr[idx]
+
+    def scatter(
+        self, arr: np.ndarray, idx: np.ndarray, vals, chained: bool = False
+    ) -> None:
+        """Indexed vector store: ``arr[idx] = vals``."""
+        self._charge(idx.shape[0], self.config.scatter_rate, chained)
+        self._conflicts(idx, self.config.scatter_rate)
+        arr[idx] = vals
+
+    def load(self, arr: np.ndarray, chained: bool = False) -> np.ndarray:
+        """Stride-1 vector load (returns the array unchanged)."""
+        self._charge(arr.shape[0], self.config.load_rate, chained)
+        return arr
+
+    def store(
+        self, dst: np.ndarray, src, chained: bool = False, n: Optional[int] = None
+    ) -> np.ndarray:
+        """Stride-1 vector store ``dst[...] = src``."""
+        count = n if n is not None else dst.shape[0]
+        self._charge(count, self.config.store_rate, chained)
+        dst[...] = src
+        return dst
+
+    # ------------------------------------------------------------------
+    # compute operations
+    # ------------------------------------------------------------------
+
+    def ew(self, fn, *arrays, chained: bool = False, n: Optional[int] = None):
+        """Elementwise vector operation ``fn(*arrays)`` (add, compare, …)."""
+        count = n if n is not None else int(np.asarray(arrays[0]).shape[0])
+        self._charge(count, self.config.ew_rate, chained)
+        return fn(*arrays)
+
+    def compress(self, mask: np.ndarray, *arrays, chained: bool = False):
+        """Pack the elements of each array where ``mask`` is True.
+
+        Models the Cray compress-index + gather idiom used by the pack
+        kernels ("computing the indices of the active sublists and …
+        gathering the vector using the active indices and then storing
+        contiguously").
+        """
+        n = mask.shape[0]
+        self._charge(n, self.config.compress_rate, chained)
+        packed = tuple(a[mask] for a in arrays)
+        kept = int(packed[0].shape[0]) if packed else int(np.count_nonzero(mask))
+        for _ in arrays:
+            self._charge(kept, self.config.gather_rate, chained=True)
+            self._charge(kept, self.config.store_rate, chained=True)
+        return packed if len(packed) != 1 else packed[0]
+
+    def iota(self, n: int, dtype=np.int64, chained: bool = False) -> np.ndarray:
+        """Vector index generation (the Cray VI register / iota)."""
+        self._charge(n, self.config.ew_rate, chained)
+        return np.arange(n, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # scalar unit
+    # ------------------------------------------------------------------
+
+    def scalar_traverse(self, n: int) -> None:
+        """Charge a dependent scalar pointer-chase over ``n`` elements —
+        the serial list scan's cost model (34 clocks/element on the
+        C-90; Section 2.1)."""
+        self.ledger.charge(
+            self._category,
+            self.config.scalar_chase * n + self.config.scalar_call_const,
+        )
+
+    # ------------------------------------------------------------------
+    # multiprocessing hooks
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Charge one synchronisation barrier."""
+        self.ledger.charge("sync", self.config.sync_cycles)
+
+    def task_start(self) -> None:
+        """Charge the start of a tasked (multiprocessor) loop."""
+        self.ledger.charge("tasking", self.config.task_start_cycles)
+
+
+class _Region:
+    def __init__(self, vm: VectorVM, category: str) -> None:
+        self._vm = vm
+        self._category = category
+        self._prev: Optional[str] = None
+
+    def __enter__(self) -> VectorVM:
+        self._prev = self._vm._category
+        self._vm._category = self._category
+        return self._vm
+
+    def __exit__(self, *exc) -> None:
+        self._vm._category = self._prev or "uncategorized"

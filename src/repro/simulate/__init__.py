@@ -1,0 +1,11 @@
+"""Simulated (cycle-accounted) runs of every algorithm on the Cray models."""
+
+from .contraction_sim import (
+    anderson_miller_scan_sim,
+    random_mate_scan_sim,
+    stats_to_cycles,
+)
+from .result import SimResult
+from .serial_sim import serial_rank_sim, serial_scan_sim
+from .sublist_sim import SimSublistConfig, sublist_rank_sim, sublist_scan_sim
+from .wyllie_sim import wyllie_rank_sim, wyllie_scan_sim

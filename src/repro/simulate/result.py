@@ -1,0 +1,66 @@
+"""Result type shared by all simulated algorithm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+
+__all__ = ["SimResult"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run.
+
+    Attributes
+    ----------
+    out:
+        The computed scan/rank values (real results — the simulator
+        executes the algorithm, it does not merely cost it).
+    cycles:
+        Simulated wall-clock in machine cycles (max over CPUs within
+        each parallel region, summed over regions).
+    config:
+        The machine model that was simulated.
+    n:
+        Problem size the run was performed on.
+    n_processors:
+        CPUs used.
+    per_cpu_cycles:
+        Busy cycles per CPU for the phase regions (exposes the load
+        imbalance the paper's local-only packing accepts).
+    breakdown:
+        Cycles by kernel/region name (the Section 3 decomposition).
+    """
+
+    out: np.ndarray
+    cycles: float
+    config: MachineConfig
+    n: int
+    n_processors: int = 1
+    per_cpu_cycles: List[float] = field(default_factory=list)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_ns(self) -> float:
+        """Simulated wall-clock in nanoseconds."""
+        return self.config.time_ns(self.cycles)
+
+    @property
+    def ns_per_element(self) -> float:
+        """The paper's standard y-axis: nanoseconds per list element."""
+        return self.time_ns / max(self.n, 1)
+
+    @property
+    def cycles_per_element(self) -> float:
+        """Cycles per list element (the paper's ≈8.6 clk/elem asymptote)."""
+        return self.cycles / max(self.n, 1)
+
+    def add_region(self, name: str, cycles: float) -> None:
+        """Accumulate a timed region into the total and the breakdown."""
+        self.cycles += cycles
+        self.breakdown[name] = self.breakdown.get(name, 0.0) + cycles

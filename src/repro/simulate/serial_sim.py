@@ -1,0 +1,49 @@
+"""Simulated serial list scan (paper Section 2.1).
+
+The serial algorithm is a dependent scalar pointer chase: every element
+costs a full memory round trip (34 clocks on the C-90 — the flat
+≈143 ns/element line of Figure 1).  The scan itself is executed by the
+host reference implementation; the cycle cost is the scalar-chase
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.serial import serial_list_scan
+from ..core.operators import Operator, SUM, get_operator
+from ..lists.generate import LinkedList
+from ..machine.config import CRAY_C90, MachineConfig
+from ..machine.vm import VectorVM
+from .result import SimResult
+
+__all__ = ["serial_scan_sim", "serial_rank_sim"]
+
+
+def serial_scan_sim(
+    lst: LinkedList,
+    op: Union[Operator, str] = SUM,
+    config: MachineConfig = CRAY_C90,
+    inclusive: bool = False,
+) -> SimResult:
+    """Run the serial scan and charge the scalar traversal model."""
+    op = get_operator(op)
+    out = serial_list_scan(lst, op, inclusive=inclusive)
+    vm = VectorVM(config)
+    with vm.region("serial"):
+        vm.scalar_traverse(lst.n)
+    result = SimResult(out=out, cycles=0.0, config=config, n=lst.n, n_processors=1)
+    result.add_region("serial", vm.cycles)
+    result.per_cpu_cycles = [vm.cycles]
+    return result
+
+
+def serial_rank_sim(
+    lst: LinkedList, config: MachineConfig = CRAY_C90
+) -> SimResult:
+    """Simulated serial list ranking."""
+    ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
+    return serial_scan_sim(ones, SUM, config)

@@ -1,0 +1,128 @@
+"""Simulated Wyllie pointer jumping on the vector multiprocessor
+(paper Section 2.2, Figures 1 and 3).
+
+Executes the suffix-form pointer-jumping rounds on the host while
+charging, per round and per CPU, the operation inventory of the paper's
+``Wyllie_Loop`` with double buffering: two stride-1 loads (own value
+and own link), two gathers (successor's value and link), one combine,
+and two stride-1 stores into the write buffers.  Bank-conflict stalls
+are computed from the actual gather address streams — in the final
+rounds a growing fraction of all pointers dereference the tail
+simultaneously, which the banked-memory model serializes, reproducing
+the concurrent-read hot spot the paper notes for Cray memory systems.
+
+The round count ⌈log₂(n−1)⌉ produces the sawtooth of Figures 1/3: the
+per-element time jumps whenever the list length crosses a power of two
+and drifts down between teeth as the per-round constants amortize.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.wyllie import wyllie_rounds
+from ..core.operators import Operator, SUM, get_operator
+from ..lists.generate import LinkedList
+from ..machine.config import CRAY_C90, MachineConfig
+from ..machine.memory import estimate_conflict_cycles
+from ..machine.multiproc import shard_slices
+from .result import SimResult
+
+__all__ = ["wyllie_scan_sim", "wyllie_rank_sim"]
+
+
+def wyllie_scan_sim(
+    lst: LinkedList,
+    op: Union[Operator, str] = SUM,
+    config: MachineConfig = CRAY_C90,
+    n_processors: int = 1,
+    inclusive: bool = False,
+    bank_conflicts: bool = True,
+) -> SimResult:
+    """Simulate the multiprocessor Wyllie list scan.
+
+    Requires an invertible operator (the paper's suffix dataflow).
+    """
+    op = get_operator(op)
+    if not op.invertible:
+        raise ValueError("the simulated Wyllie uses the suffix form; "
+                         f"operator {op.name} is not invertible")
+    if n_processors < 1 or n_processors > config.max_processors:
+        raise ValueError(
+            f"n_processors must be in [1, {config.max_processors}] for {config.name}"
+        )
+    n = lst.n
+    p = n_processors
+    values = lst.values
+    ident = op.identity_for(values.dtype)
+    tail = lst.tail
+
+    work = values.copy()
+    work[tail] = ident
+    ptr = lst.next.copy()
+
+    result = SimResult(
+        out=np.empty_like(values), cycles=0.0, config=config, n=n, n_processors=p
+    )
+    per_cpu_total = [0.0] * p
+    shards = shard_slices(n, p)
+    chunk = max(len(range(*s.indices(n))) for s in shards)
+
+    rounds = wyllie_rounds(n)
+    cfg = config
+    vl = cfg.vector_length
+    # per-element inventory of one Wyllie round (see module docstring)
+    base_rate = (
+        2 * cfg.load_rate + 2 * cfg.gather_rate + cfg.ew_rate + 2 * cfg.store_rate
+    )
+    strips = (chunk + vl - 1) // vl
+    # 7 vector instructions per strip-mined pass over the chunk, each
+    # paying its call constant and a pipe fill per strip
+    per_round_const = 7 * cfg.call_const + 7 * strips * cfg.strip_startup
+
+    round_cycles_total = 0.0
+    for _ in range(rounds):
+        stalls = 0.0
+        if bank_conflicts:
+            stalls = 2.0 * estimate_conflict_cycles(ptr, cfg, cfg.gather_rate)
+        work = op.combine(work, work[ptr])
+        ptr = ptr[ptr]
+        cpu_cycles = base_rate * chunk + per_round_const + stalls / p
+        for j in range(p):
+            per_cpu_total[j] += cpu_cycles
+        wall = cpu_cycles + (cfg.sync_cycles if p > 1 else 0.0)
+        round_cycles_total += wall
+
+    if p > 1:
+        round_cycles_total += cfg.task_start_cycles
+    result.add_region("wyllie_rounds", round_cycles_total)
+
+    # suffix → exclusive prefix conversion: one load, one ew, one store
+    total = work[lst.head]
+    out = op.remove(total, work)
+    if inclusive:
+        out = op.combine(out, values)
+    result.out = out
+    convert = (
+        (cfg.load_rate + cfg.ew_rate + cfg.store_rate) * chunk
+        + 3 * cfg.call_const
+        + 3 * ((chunk + vl - 1) // vl) * cfg.strip_startup
+    )
+    result.add_region("convert", convert + (cfg.sync_cycles if p > 1 else 0.0))
+    result.per_cpu_cycles = [c + convert for c in per_cpu_total]
+    return result
+
+
+def wyllie_rank_sim(
+    lst: LinkedList,
+    config: MachineConfig = CRAY_C90,
+    n_processors: int = 1,
+    bank_conflicts: bool = True,
+) -> SimResult:
+    """Simulated Wyllie list ranking."""
+    ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
+    return wyllie_scan_sim(
+        ones, SUM, config, n_processors, bank_conflicts=bank_conflicts
+    )

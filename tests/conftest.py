@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lists.generate import LinkedList, random_list
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_list(rng) -> LinkedList:
+    """A 100-node random list with random integer values."""
+    return random_list(100, rng, values=rng.integers(-50, 50, 100))
+
+
+@pytest.fixture
+def medium_list(rng) -> LinkedList:
+    """A 10_000-node random list with random integer values."""
+    return random_list(10_000, rng, values=rng.integers(-50, 50, 10_000))
+
+
+def make_affine_values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Random affine-map values (a in {1,2}, b in [-5, 5])."""
+    return np.stack(
+        [rng.integers(1, 3, n), rng.integers(-5, 6, n)], axis=1
+    ).astype(np.int64)

@@ -1,0 +1,102 @@
+"""Unit tests for the Anderson/Miller queued-splice algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anderson_miller import (
+    anderson_miller_list_rank,
+    anderson_miller_list_scan,
+)
+from repro.baselines.serial import serial_list_rank, serial_list_scan
+from repro.core.operators import AFFINE, MAX
+from repro.core.stats import ScanStats
+from repro.lists.generate import from_order, ordered_list, random_list, reversed_list
+from .conftest import make_affine_values
+
+SIZES = [1, 2, 3, 4, 5, 8, 50, 333, 5000]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_random_lists(self, n, rng):
+        lst = random_list(n, rng, values=rng.integers(-9, 9, n))
+        got = anderson_miller_list_scan(lst, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst)), f"n={n}"
+
+    @pytest.mark.parametrize("layout", [ordered_list, reversed_list])
+    def test_layouts(self, layout, rng):
+        lst = layout(777, values=rng.integers(-9, 9, 777))
+        assert np.array_equal(
+            anderson_miller_list_scan(lst, rng=rng), serial_list_scan(lst)
+        )
+
+    @pytest.mark.parametrize("block", [1, 2, 5, 64, 500])
+    def test_block_sizes(self, block, rng):
+        lst = random_list(500, rng, values=rng.integers(-9, 9, 500))
+        got = anderson_miller_list_scan(lst, block_size=block, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst))
+
+    def test_max(self, rng):
+        lst = random_list(1000, rng, values=rng.integers(-99, 99, 1000))
+        assert np.array_equal(
+            anderson_miller_list_scan(lst, MAX, rng=rng),
+            serial_list_scan(lst, MAX),
+        )
+
+    def test_affine(self, rng):
+        n = 1000
+        lst = from_order(rng.permutation(n), make_affine_values(rng, n))
+        assert np.array_equal(
+            anderson_miller_list_scan(lst, AFFINE, rng=rng),
+            serial_list_scan(lst, AFFINE),
+        )
+
+    def test_inclusive(self, rng):
+        lst = random_list(500, rng, values=rng.integers(-9, 9, 500))
+        assert np.array_equal(
+            anderson_miller_list_scan(lst, inclusive=True, rng=rng),
+            serial_list_scan(lst, inclusive=True),
+        )
+
+    def test_rank(self, rng):
+        lst = random_list(800, rng)
+        assert np.array_equal(
+            anderson_miller_list_rank(lst, rng=rng), serial_list_rank(lst)
+        )
+
+    def test_input_unmodified(self, small_list, rng):
+        before_next = small_list.next.copy()
+        before_vals = small_list.values.copy()
+        anderson_miller_list_scan(small_list, rng=rng)
+        assert np.array_equal(small_list.next, before_next)
+        assert np.array_equal(small_list.values, before_vals)
+
+    def test_many_seeds(self, rng):
+        lst = random_list(97, rng, values=rng.integers(-9, 9, 97))
+        expect = serial_list_scan(lst)
+        for seed in range(20):
+            assert np.array_equal(
+                anderson_miller_list_scan(lst, rng=seed), expect
+            )
+
+    def test_rejects_bad_block(self, small_list):
+        with pytest.raises(ValueError, match="block_size"):
+            anderson_miller_list_scan(small_list, block_size=0)
+
+
+class TestStats:
+    def test_no_global_packing_work_linear(self, rng):
+        """Anderson/Miller avoids the global pack; per-element work stays
+        bounded even though blocked processors retry."""
+        n = 20_000
+        stats = ScanStats()
+        anderson_miller_list_scan(random_list(n, rng), rng=rng, stats=stats)
+        assert stats.work_per_element(n) < 12.0
+
+    def test_rounds_scale_with_block_size(self, rng):
+        lst = random_list(4096, rng)
+        s_small, s_big = ScanStats(), ScanStats()
+        anderson_miller_list_scan(lst, block_size=2, rng=1, stats=s_small)
+        anderson_miller_list_scan(lst, block_size=64, rng=1, stats=s_big)
+        # larger blocks → fewer processors → more rounds to drain queues
+        assert s_big.rounds > s_small.rounds

@@ -1,0 +1,118 @@
+"""Tests for the public dispatch API and package surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.serial import serial_list_rank, serial_list_scan
+from repro.core.list_scan import ALGORITHMS, list_rank, list_scan
+from repro.core.operators import MAX
+from repro.core.stats import ScanStats
+from repro.lists.generate import LinkedList, random_list
+from repro.lists.validate import ListStructureError
+
+
+class TestListScanDispatch:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["sublist", "wyllie", "serial", "random_mate", "anderson_miller"],
+    )
+    def test_all_algorithms_agree(self, algorithm, rng):
+        lst = random_list(2000, rng, values=rng.integers(-9, 9, 2000))
+        got = list_scan(lst, algorithm=algorithm, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst))
+
+    def test_auto_small_uses_serial(self, rng):
+        lst = random_list(100, rng, values=rng.integers(-9, 9, 100))
+        assert np.array_equal(
+            list_scan(lst, algorithm="auto"), serial_list_scan(lst)
+        )
+
+    def test_auto_large(self, rng):
+        lst = random_list(10_000, rng, values=rng.integers(-9, 9, 10_000))
+        assert np.array_equal(
+            list_scan(lst, algorithm="auto", rng=rng), serial_list_scan(lst)
+        )
+
+    def test_operator_by_name(self, rng):
+        lst = random_list(500, rng, values=rng.integers(-9, 9, 500))
+        assert np.array_equal(
+            list_scan(lst, "max", rng=rng), serial_list_scan(lst, MAX)
+        )
+
+    def test_inclusive_flag(self, rng):
+        lst = random_list(500, rng, values=rng.integers(-9, 9, 500))
+        assert np.array_equal(
+            list_scan(lst, inclusive=True, rng=rng),
+            serial_list_scan(lst, inclusive=True),
+        )
+
+    def test_unknown_algorithm(self, small_list):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            list_scan(small_list, algorithm="quantum")
+
+    def test_validate_rejects_corrupt(self):
+        from repro.lists.generate import INDEX_DTYPE
+
+        lst = LinkedList.__new__(LinkedList)
+        lst.next = np.array([1, 2, 0], dtype=INDEX_DTYPE)
+        lst.head = 0
+        lst.values = np.ones(3, dtype=np.int64)
+        with pytest.raises(ListStructureError):
+            list_scan(lst, validate=True)
+
+    def test_validate_accepts_good(self, small_list):
+        got = list_scan(small_list, validate=True)
+        assert np.array_equal(got, serial_list_scan(small_list))
+
+    def test_kwargs_forwarded(self, rng):
+        from repro.core.sublist import SublistConfig
+
+        lst = random_list(3000, rng, values=rng.integers(-9, 9, 3000))
+        got = list_scan(lst, config=SublistConfig(m=64, s1=8.0), rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst))
+
+    def test_stats_filled(self, rng):
+        lst = random_list(5000, rng)
+        stats = ScanStats()
+        list_scan(lst, rng=rng, stats=stats)
+        assert stats.element_ops > 0
+
+
+class TestListRank:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["sublist", "wyllie", "serial", "random_mate", "anderson_miller", "auto"],
+    )
+    def test_matches_serial(self, algorithm, rng):
+        lst = random_list(1500, rng)
+        got = list_rank(lst, algorithm=algorithm, rng=rng)
+        assert np.array_equal(got, serial_list_rank(lst))
+
+    def test_ignores_values(self, rng):
+        """Ranking never reads node values."""
+        lst = random_list(400, rng, values=rng.integers(-1000, 1000, 400))
+        got = list_rank(lst, rng=rng)
+        assert sorted(got) == list(range(400))
+
+
+class TestPackageSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_algorithms_constant(self):
+        assert "sublist" in ALGORITHMS and "auto" in ALGORITHMS
+
+    def test_readme_quickstart_works(self):
+        lst = repro.random_list(10_000, rng=0)
+        ranks = repro.list_rank(lst)
+        sums = repro.list_scan(lst, "sum")
+        assert ranks[lst.head] == 0
+        assert sums[lst.head] == 0
+        res = repro.sublist_scan_sim(lst, n_processors=8)
+        assert res.config.name == "CRAY C-90"
+        assert res.ns_per_element > 0

@@ -1,0 +1,116 @@
+"""Tests for the reorder and load-balance applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.load_balance import partition_list, partition_summary
+from repro.apps.reorder import list_to_array, scan_via_reorder
+from repro.baselines.serial import serial_list_scan
+from repro.core.operators import MAX, SUM
+from repro.lists.generate import LinkedList, from_order, random_list
+
+
+class TestListToArray:
+    def test_values_in_list_order(self, rng):
+        order = rng.permutation(100)
+        vals = rng.integers(0, 1000, 100)
+        lst = from_order(order, vals)
+        got = list_to_array(lst, rng=rng)
+        assert np.array_equal(got["values"], vals[order])
+
+    def test_order_matches(self, rng):
+        order = rng.permutation(64)
+        lst = from_order(order)
+        got = list_to_array(lst, rng=rng)
+        assert np.array_equal(got["order"], order)
+
+    def test_rank_is_inverse(self, rng):
+        lst = random_list(128, rng)
+        got = list_to_array(lst, rng=rng)
+        assert np.array_equal(got["order"][got["rank"]], np.arange(128))
+
+
+class TestScanViaReorder:
+    @pytest.mark.parametrize("n", [1, 2, 10, 1000])
+    def test_matches_direct_scan(self, n, rng):
+        lst = random_list(n, rng, values=rng.integers(-9, 9, n))
+        assert np.array_equal(scan_via_reorder(lst, rng=rng), serial_list_scan(lst))
+
+    def test_inclusive(self, rng):
+        lst = random_list(500, rng, values=rng.integers(-9, 9, 500))
+        assert np.array_equal(
+            scan_via_reorder(lst, inclusive=True, rng=rng),
+            serial_list_scan(lst, inclusive=True),
+        )
+
+    def test_max_operator(self, rng):
+        lst = random_list(500, rng, values=rng.integers(-99, 99, 500))
+        assert np.array_equal(
+            scan_via_reorder(lst, MAX, rng=rng), serial_list_scan(lst, MAX)
+        )
+
+    @pytest.mark.parametrize("algorithm", ["serial", "wyllie", "sublist"])
+    def test_any_ranking_algorithm(self, algorithm, rng):
+        lst = random_list(2000, rng, values=rng.integers(-9, 9, 2000))
+        got = scan_via_reorder(lst, algorithm=algorithm, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst))
+
+
+class TestPartitionList:
+    def test_owners_in_range(self, rng):
+        lst = random_list(1000, rng, values=rng.integers(1, 10, 1000))
+        owner = partition_list(lst, 7, rng=rng)
+        assert owner.min() >= 0 and owner.max() < 7
+
+    def test_contiguous_in_list_order(self, rng):
+        from repro.lists.generate import list_order
+
+        lst = random_list(1000, rng, values=rng.integers(1, 10, 1000))
+        owner = partition_list(lst, 5, rng=rng)
+        along = owner[list_order(lst)]
+        assert np.all(np.diff(along) >= 0)  # monotone → contiguous runs
+
+    def test_balanced_uniform_weights(self, rng):
+        lst = random_list(10_000, rng)
+        owner = partition_list(lst, 8, rng=rng)
+        counts = np.bincount(owner, minlength=8)
+        assert counts.max() - counts.min() <= 2
+
+    def test_balanced_random_weights(self, rng):
+        lst = random_list(10_000, rng, values=rng.integers(1, 100, 10_000))
+        owner = partition_list(lst, 16, rng=rng)
+        s = partition_summary(lst, owner, 16)
+        assert s["imbalance"] < 1.05
+
+    def test_heavy_items_respected(self, rng):
+        """One huge item: its processor may exceed the mean, everyone
+        else still gets assigned work."""
+        vals = np.ones(1000, dtype=np.int64)
+        vals[0] = 10_000
+        lst = random_list(1000, rng, values=vals)
+        owner = partition_list(lst, 4, rng=rng)
+        assert len(np.unique(owner)) >= 2
+
+    def test_single_processor(self, rng):
+        lst = random_list(100, rng)
+        assert np.all(partition_list(lst, 1, rng=rng) == 0)
+
+    def test_zero_weights(self, rng):
+        lst = random_list(100, rng, values=np.zeros(100, dtype=np.int64))
+        assert np.all(partition_list(lst, 4, rng=rng) == 0)
+
+    def test_rejects_negative_weights(self, rng):
+        lst = random_list(10, rng, values=np.array([1] * 9 + [-1]))
+        with pytest.raises(ValueError, match="non-negative"):
+            partition_list(lst, 2)
+
+    def test_rejects_zero_processors(self, rng):
+        with pytest.raises(ValueError):
+            partition_list(random_list(10, rng), 0)
+
+    def test_summary_totals(self, rng):
+        lst = random_list(500, rng, values=rng.integers(1, 10, 500))
+        owner = partition_list(lst, 4, rng=rng)
+        s = partition_summary(lst, owner, 4)
+        assert s["totals"].sum() == lst.values.sum()
+        assert s["counts"].sum() == 500

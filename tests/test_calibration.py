@@ -1,0 +1,78 @@
+"""Unit tests for kernel-model calibration against the paper's equations."""
+
+import pytest
+
+from repro.analysis.cost_model import PAPER_C90_COSTS
+from repro.machine.calibration import (
+    compare_with_paper,
+    derive_rates,
+    paper_equations,
+    to_kernel_costs,
+)
+from repro.machine.config import CRAY_C90, CRAY_YMP, DECSTATION_5000
+
+
+class TestDerivedRates:
+    def test_all_kernels_present(self):
+        k = derive_rates(CRAY_C90)
+        assert set(k) == {
+            "initialize",
+            "initial_rank",
+            "initial_pack",
+            "find_sublist",
+            "final_rank",
+            "final_pack",
+            "restore",
+            "serial",
+        }
+
+    def test_models_evaluate_linearly(self):
+        k = derive_rates(CRAY_C90)
+        model = k["initial_rank"]
+        assert model(1000) == pytest.approx(model.per_elem * 1000 + model.const)
+
+    def test_final_rank_costs_more_than_initial(self):
+        """Phase 3 adds the scatter of the scan values."""
+        k = derive_rates(CRAY_C90)
+        assert k["final_rank"].per_elem > k["initial_rank"].per_elem
+
+    def test_ymp_slower_than_c90(self):
+        c90 = derive_rates(CRAY_C90)
+        ymp = derive_rates(CRAY_YMP)
+        for name in c90:
+            assert ymp[name].per_elem >= c90[name].per_elem, name
+
+
+class TestPaperCalibration:
+    """The headline calibration property: the C-90 preset reproduces the
+    paper's Section 3 timing equations."""
+
+    @pytest.mark.parametrize("kernel", list(paper_equations()))
+    def test_slopes_within_15_percent(self, kernel):
+        row = compare_with_paper(CRAY_C90)[kernel]
+        assert row["rel_err_a"] < 0.15, (
+            f"{kernel}: model {row['model_a']:.2f} vs paper {row['paper_a']:.2f}"
+        )
+
+    def test_serial_exact(self):
+        row = compare_with_paper(CRAY_C90)["serial"]
+        assert row["rel_err_a"] == 0.0
+
+    def test_intercepts_match_on_c90(self):
+        for kernel, row in compare_with_paper(CRAY_C90).items():
+            assert row["model_b"] == pytest.approx(row["paper_b"]), kernel
+
+
+class TestToKernelCosts:
+    def test_combined_slopes_near_paper(self):
+        derived = to_kernel_costs(CRAY_C90)
+        assert derived.a == pytest.approx(PAPER_C90_COSTS.a, rel=0.15)
+        assert derived.c == pytest.approx(PAPER_C90_COSTS.c, rel=0.15)
+        assert derived.e == pytest.approx(PAPER_C90_COSTS.e, rel=0.15)
+
+    def test_clock_propagates(self):
+        assert to_kernel_costs(CRAY_YMP).clock_ns == CRAY_YMP.clock_ns
+
+    def test_decstation_overheads_scaled(self):
+        dec = to_kernel_costs(DECSTATION_5000)
+        assert dec.initialize_const < PAPER_C90_COSTS.initialize_const

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["rank"])
+        assert args.n == 1 << 20
+        assert args.algorithm == "sublist"
+        assert args.layout == "random"
+
+    def test_rejects_bad_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank", "--algorithm", "quantum"])
+
+    def test_rejects_bad_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--machine", "cray3"])
+
+
+class TestCommands:
+    def test_rank(self, capsys):
+        assert main(["rank", "-n", "5000", "--algorithm", "wyllie"]) == 0
+        out = capsys.readouterr().out
+        assert "ranked 5,000 nodes" in out
+        assert "tail rank 4999" in out
+
+    def test_scan(self, capsys):
+        assert main(["scan", "-n", "3000", "--op", "max", "--inclusive"]) == 0
+        out = capsys.readouterr().out
+        assert "inclusive max-scan" in out
+
+    def test_scan_sum_matches_length(self, capsys):
+        # unit values: exclusive sum at the tail is n − 1
+        assert main(["scan", "-n", "1000", "--algorithm", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "scan at tail = 999" in out
+
+    @pytest.mark.parametrize("algo", ["sublist", "wyllie", "serial"])
+    def test_simulate(self, algo, capsys):
+        assert main(["simulate", "-n", "20000", "--algorithm", algo]) == 0
+        out = capsys.readouterr().out
+        assert "CRAY C-90" in out
+        assert "clocks/element" in out
+
+    def test_simulate_ymp_multiproc(self, capsys):
+        assert main(
+            ["simulate", "-n", "20000", "--machine", "ymp", "-p", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CRAY Y-MP" in out
+        assert "4 CPU(s)" in out
+
+    def test_simulate_layouts(self, capsys):
+        for layout in ("random", "ordered", "blocked"):
+            assert main(["simulate", "-n", "8000", "--layout", layout]) == 0
+
+    def test_tune(self, capsys):
+        assert main(["tune", "-n", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "tuned m" in out
+        assert "clocks/element" in out
+
+    def test_figures_single(self, tmp_path, capsys):
+        assert main(
+            ["figures", "--only", "fig12", "--out", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "figure12.csv").exists()
+        header = (tmp_path / "figure12.csv").read_text().splitlines()[0]
+        assert header == "s,g,is_pack_point"

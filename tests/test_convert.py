@@ -1,0 +1,99 @@
+"""Unit tests for rank/permutation/array conversions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import serial_list_rank, serial_list_scan
+from repro.core.operators import AFFINE, MAX, SUM
+from repro.lists.convert import (
+    array_exclusive_scan,
+    array_inclusive_scan,
+    list_from_array,
+    rank_to_order,
+    reorder_by_rank,
+)
+from repro.lists.generate import list_order, random_list
+from .conftest import make_affine_values
+
+
+class TestRankToOrder:
+    def test_inverse_relation(self, rng):
+        lst = random_list(200, rng)
+        rank = serial_list_rank(lst)
+        order = rank_to_order(rank)
+        assert np.array_equal(order, list_order(lst))
+
+    def test_identity_rank(self):
+        assert np.array_equal(rank_to_order(np.arange(5)), np.arange(5))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            rank_to_order(np.array([0, 0, 2]))
+
+
+class TestReorderByRank:
+    def test_places_by_rank(self):
+        payload = np.array([10, 20, 30])
+        rank = np.array([2, 0, 1])
+        assert np.array_equal(reorder_by_rank(payload, rank), [20, 30, 10])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            reorder_by_rank(np.ones(3), np.arange(4))
+
+    def test_roundtrip(self, rng):
+        lst = random_list(100, rng, values=rng.integers(0, 99, 100))
+        rank = serial_list_rank(lst)
+        in_order = reorder_by_rank(lst.values, rank)
+        assert np.array_equal(in_order[rank], lst.values)
+
+
+class TestArrayScans:
+    def test_exclusive_sum(self):
+        out = array_exclusive_scan(np.array([1, 2, 3, 4]))
+        assert np.array_equal(out, [0, 1, 3, 6])
+
+    def test_inclusive_sum(self):
+        out = array_inclusive_scan(np.array([1, 2, 3, 4]))
+        assert np.array_equal(out, [1, 3, 6, 10])
+
+    def test_exclusive_max(self, rng):
+        x = rng.integers(-50, 50, 30)
+        out = array_exclusive_scan(x, MAX)
+        assert out[0] == MAX.identity_for(x.dtype)
+        assert np.array_equal(out[1:], np.maximum.accumulate(x)[:-1])
+
+    def test_exclusive_affine_generic_path(self, rng):
+        """AFFINE has no ufunc — exercises the doubling accumulate."""
+        x = make_affine_values(rng, 25)
+        out = array_exclusive_scan(x, AFFINE)
+        acc = AFFINE.identity_for(x.dtype)
+        for k in range(25):
+            assert np.array_equal(out[k], acc)
+            acc = AFFINE.combine(acc, x[k])
+
+    def test_out_parameter(self, rng):
+        x = rng.integers(0, 9, 10)
+        out = np.empty_like(x)
+        ret = array_exclusive_scan(x, SUM, out=out)
+        assert ret is out
+
+    def test_empty(self):
+        out = array_exclusive_scan(np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+
+
+class TestListFromArray:
+    def test_default_order(self, rng):
+        vals = rng.integers(0, 9, 12)
+        lst = list_from_array(vals)
+        assert np.array_equal(list_order(lst), np.arange(12))
+        assert np.array_equal(lst.values, vals)
+
+    def test_custom_order_scan_matches_array_scan(self, rng):
+        vals = rng.integers(-9, 9, 64)
+        order = rng.permutation(64)
+        lst = list_from_array(vals, order)
+        out = serial_list_scan(lst)
+        # scanning the list in order == scanning values[order] as array
+        assert np.array_equal(out[order], array_exclusive_scan(vals[order]))

@@ -1,0 +1,132 @@
+"""Unit tests for the kernel cost model (paper Sections 3 and 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_model import (
+    CLOCK_NS_C90,
+    KernelCosts,
+    PAPER_C90_COSTS,
+    phase13_time_closed_form,
+    phase13_time_from_schedule,
+    phase2_time,
+    total_time,
+)
+from repro.core.schedule import optimal_schedule
+
+
+class TestPaperConstants:
+    """The combined coefficients the paper derives in Section 4.2."""
+
+    def test_combined_rank_slope(self):
+        assert PAPER_C90_COSTS.a == pytest.approx(8.4)
+
+    def test_combined_rank_const(self):
+        assert PAPER_C90_COSTS.b == pytest.approx(180.0)
+
+    def test_combined_pack_slope(self):
+        assert PAPER_C90_COSTS.c == pytest.approx(13.0)
+
+    def test_combined_pack_const(self):
+        assert PAPER_C90_COSTS.d == pytest.approx(940.0)
+
+    def test_combined_bookkeeping_slope(self):
+        assert PAPER_C90_COSTS.e == pytest.approx(26.0)
+
+    def test_combined_bookkeeping_const(self):
+        assert PAPER_C90_COSTS.f == pytest.approx(9720.0)
+
+    def test_clock(self):
+        assert CLOCK_NS_C90 == pytest.approx(4.2)
+
+    def test_kernel_equations(self):
+        c = PAPER_C90_COSTS
+        assert c.t_initialize(100) == pytest.approx(13 * 100 + 8700)
+        assert c.t_initial_rank_step(1000) == pytest.approx(3.4 * 1000 + 80)
+        assert c.t_initial_pack(1000) == pytest.approx(7 * 1000 + 540)
+        assert c.t_find_sublist_list(100) == pytest.approx(9 * 100 + 770)
+        assert c.t_final_rank_step(1000) == pytest.approx(5 * 1000 + 100)
+        assert c.t_final_pack(1000) == pytest.approx(6 * 1000 + 400)
+        assert c.t_restore(100) == pytest.approx(4 * 100 + 250)
+        assert c.t_serial(100) == pytest.approx(34 * 100 + 255)
+
+    def test_scale(self):
+        doubled = PAPER_C90_COSTS.scale(2.0)
+        assert doubled.a == pytest.approx(2 * PAPER_C90_COSTS.a)
+        assert doubled.f == pytest.approx(2 * PAPER_C90_COSTS.f)
+
+    def test_wyllie_rounds_cost(self):
+        c = PAPER_C90_COSTS
+        assert c.t_wyllie(1) == 0.0
+        # 1024-node list: 10 rounds
+        assert c.t_wyllie(1024) == pytest.approx(
+            10 * (c.wyllie_round_per_elem * 1024 + c.wyllie_round_const)
+        )
+
+
+class TestPhase13:
+    def test_schedule_sum_positive(self):
+        sch = optimal_schedule(10_000, 200, 14.7)
+        assert phase13_time_from_schedule(10_000, 200, sch) > 0
+
+    def test_more_processors_faster(self):
+        sch = optimal_schedule(100_000, 1000, 20.0)
+        t1 = phase13_time_from_schedule(100_000, 1000, sch, n_processors=1)
+        t8 = phase13_time_from_schedule(100_000, 1000, sch, n_processors=8)
+        assert t8 < t1
+        # constants don't parallelize, so speedup is sublinear
+        assert t1 / t8 < 8.0
+
+    def test_closed_form_tracks_schedule_sum(self):
+        """Eq. 7 ≈ Eq. 3/4 at the optimal schedule (the paper derives
+        one from the other)."""
+        n, m, s1 = 1_000_000, 5000, 40.0
+        sch = optimal_schedule(n, m, s1)
+        t_sum = phase13_time_from_schedule(n, m, sch)
+        t_closed = phase13_time_closed_form(n, m, s1, len(sch))
+        assert t_closed == pytest.approx(t_sum, rel=0.15)
+
+    def test_rank_work_dominates_large_n(self):
+        """For large n the 8.4·n term dominates Phases 1+3."""
+        n, m = 10_000_000, 30_000
+        sch = optimal_schedule(n, m, 50.0)
+        t = phase13_time_from_schedule(n, m, sch)
+        assert t == pytest.approx(8.4 * n, rel=0.35)
+
+    def test_rejects_nonincreasing_schedule(self):
+        with pytest.raises(ValueError, match="increasing"):
+            phase13_time_from_schedule(1000, 10, [5.0, 5.0])
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            phase13_time_from_schedule(1000, 10, [5.0], n_processors=0)
+
+
+class TestPhase2:
+    def test_serial_regime(self):
+        t = phase2_time(100)
+        assert t == pytest.approx(PAPER_C90_COSTS.t_serial(100))
+
+    def test_wyllie_regime(self):
+        t = phase2_time(10_000)
+        assert t == pytest.approx(PAPER_C90_COSTS.t_wyllie(10_000))
+
+    def test_recursive_regime(self):
+        t = phase2_time(1_000_000)
+        assert t > phase2_time(65_536)
+
+    def test_total_includes_both(self):
+        n, m = 100_000, 1000
+        sch = optimal_schedule(n, m, 20.0)
+        assert total_time(n, m, sch) == pytest.approx(
+            phase13_time_from_schedule(n, m, sch) + phase2_time(m)
+        )
+
+
+class TestCustomCosts:
+    def test_kernel_costs_is_hashable(self):
+        {PAPER_C90_COSTS: 1}  # lru_cache in tuning relies on this
+
+    def test_custom_instance(self):
+        c = KernelCosts(initial_rank_per_elem=10.0)
+        assert c.a == pytest.approx(15.0)

@@ -1,0 +1,171 @@
+"""Unit tests for the sublist-length distribution analysis (Section 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    empirical_order_stats,
+    expected_live_sublists,
+    expected_longest,
+    expected_order_stat,
+    expected_shortest,
+    gamma_tail,
+    live_sublists_derivative,
+    prob_length_exceeds,
+    sample_sublist_lengths,
+)
+
+
+class TestLiveSublists:
+    def test_all_live_at_zero(self):
+        assert expected_live_sublists(0.0, 10_000, 200) == pytest.approx(200)
+
+    def test_decays_exponentially(self):
+        n, m = 10_000, 200
+        g1 = expected_live_sublists(50.0, n, m)
+        g2 = expected_live_sublists(100.0, n, m)
+        # halving distance multiplies by the same factor
+        assert g2 / g1 == pytest.approx(g1 / m, rel=1e-9)
+
+    def test_vectorized(self):
+        s = np.array([0.0, 10.0, 20.0])
+        g = expected_live_sublists(s, 1000, 50)
+        assert g.shape == (3,)
+        assert np.all(np.diff(g) < 0)
+
+    def test_derivative_matches_finite_difference(self):
+        n, m = 10_000, 200
+        s = 40.0
+        h = 1e-5
+        fd = (
+            expected_live_sublists(s + h, n, m)
+            - expected_live_sublists(s - h, n, m)
+        ) / (2 * h)
+        assert live_sublists_derivative(s, n, m) == pytest.approx(fd, rel=1e-5)
+
+    def test_derivative_negative(self):
+        assert live_sublists_derivative(10.0, 1000, 50) < 0
+
+
+class TestOrderStats:
+    def test_shortest_formula(self):
+        n, m = 10_000, 100
+        assert expected_order_stat(1, n, m) == pytest.approx(
+            expected_shortest(n, m), rel=1e-9
+        )
+
+    def test_longest_formula(self):
+        n, m = 10_000, 100
+        assert expected_order_stat(m + 1, n, m) == pytest.approx(
+            expected_longest(n, m), rel=1e-9
+        )
+
+    def test_monotone_in_index(self):
+        n, m = 10_000, 100
+        vals = expected_order_stat(np.arange(1, m + 2), n, m)
+        assert np.all(np.diff(vals) > 0)
+
+    def test_longest_grows_like_log_m(self):
+        n = 100_000
+        l1 = expected_longest(n, 100)
+        l2 = expected_longest(n, 200)
+        # doubling m roughly halves n/m but only adds log 2 inside
+        assert l2 < l1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            expected_order_stat(0, 1000, 10)
+        with pytest.raises(ValueError):
+            expected_order_stat(12, 1000, 10)
+
+    def test_total_expected_length_near_n(self):
+        """Sum of all expected order statistics ≈ n (they partition the
+        list)."""
+        n, m = 100_000, 500
+        total = expected_order_stat(np.arange(1, m + 2), n, m).sum()
+        assert total == pytest.approx(n, rel=0.05)
+
+
+class TestProbability:
+    def test_prob_decreases(self):
+        p = prob_length_exceeds(np.array([0.0, 10.0, 100.0]), 1000, 50)
+        assert p[0] == 1.0
+        assert np.all(np.diff(p) < 0)
+
+    def test_mean_from_tail(self):
+        """∫ P{L > x} dx = E[L] = n/m for the exponential model."""
+        n, m = 10_000, 100
+        xs = np.linspace(0, 20 * n / m, 20_000)
+        integral = np.trapezoid(prob_length_exceeds(xs, n, m), xs)
+        assert integral == pytest.approx(n / m, rel=1e-3)
+
+
+class TestGammaTail:
+    def test_k1_is_exponential(self):
+        t = np.array([0.5, 1.0, 3.0])
+        assert np.allclose(gamma_tail(1, t), np.exp(-t))
+
+    def test_increasing_in_k(self):
+        t = 2.0
+        vals = [gamma_tail(k, t) for k in range(1, 6)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_bounded(self):
+        t = np.linspace(0, 20, 50)
+        for k in (1, 3, 7):
+            v = gamma_tail(k, t)
+            assert np.all((0 <= v) & (v <= 1))
+
+    def test_matches_monte_carlo(self, rng):
+        """P{sum of k exponentials > t} against simulation."""
+        k, t, trials = 3, 2.5, 200_000
+        draws = rng.exponential(1.0, size=(trials, k)).sum(axis=1)
+        mc = (draws > t).mean()
+        assert gamma_tail(k, t) == pytest.approx(mc, abs=0.01)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            gamma_tail(0, 1.0)
+
+
+class TestSampling:
+    def test_lengths_partition_n(self, rng):
+        lengths = sample_sublist_lengths(1000, 99, rng)
+        assert lengths.sum() == 1000
+        assert lengths.shape == (100,)
+        assert np.all(lengths >= 1)
+
+    def test_rejects_impossible_m(self, rng):
+        with pytest.raises(ValueError):
+            sample_sublist_lengths(10, 10, rng)
+        with pytest.raises(ValueError):
+            sample_sublist_lengths(10, 0, rng)
+
+    def test_mean_length(self, rng):
+        """Empirical mean sublist length ≈ n/(m+1)."""
+        samples = [sample_sublist_lengths(10_000, 99, rng).mean() for _ in range(20)]
+        assert np.mean(samples) == pytest.approx(100, rel=0.05)
+
+    def test_empirical_order_stats_structure(self, rng):
+        stats = empirical_order_stats(1000, 100, samples=5, rng=rng)
+        assert stats["mean"].shape == (101,)
+        assert np.all(stats["min"] <= stats["mean"])
+        assert np.all(stats["mean"] <= stats["max"])
+        assert np.all(np.diff(stats["mean"]) >= 0)
+
+    def test_figure11_expected_matches_observed(self, rng):
+        """Figure 11's claim: the analytic order statistics track the
+        observed averages (n=1000, m in {100, 150, 200}, 20 samples)."""
+        n = 1000
+        for m in (100, 150, 200):
+            obs = empirical_order_stats(n, m, samples=20, rng=rng)["mean"]
+            idx = np.arange(1, m + 2)
+            exp = expected_order_stat(idx, n, m)
+            # compare away from the extreme tails where the estimate is
+            # least accurate (the paper notes the smallest sublist needs
+            # a separate estimate)
+            sel = slice(m // 10, -m // 10)
+            err = np.abs(obs[sel] - exp[sel]) / np.maximum(exp[sel], 1.0)
+            assert np.median(err) < 0.25, f"m={m}"

@@ -1,0 +1,98 @@
+"""Unit tests for the Section 6 early-reconnect variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import serial_list_scan
+from repro.core.early_reconnect import early_reconnect_list_scan
+from repro.core.operators import AFFINE, MAX
+from repro.core.stats import ScanStats
+from repro.core.sublist import SublistConfig
+from repro.lists.generate import LinkedList, from_order, ordered_list, random_list
+from .conftest import make_affine_values
+
+SIZES = [1, 5, 50, 500, 5000, 50_000]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_serial(self, n, rng):
+        lst = random_list(n, rng, values=rng.integers(-9, 9, n))
+        got = early_reconnect_list_scan(lst, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst)), f"n={n}"
+
+    @pytest.mark.parametrize("switch", [0, 1, 2, 16, 10**9])
+    def test_every_switch_threshold(self, switch, rng):
+        lst = random_list(8000, rng, values=rng.integers(-9, 9, 8000))
+        got = early_reconnect_list_scan(lst, switch_count=switch, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst)), f"switch={switch}"
+
+    def test_immediate_switch_is_pure_forest(self, rng):
+        """switch_count ≥ m: the whole phase runs through the forest."""
+        lst = random_list(5000, rng, values=rng.integers(-9, 9, 5000))
+        cfg = SublistConfig(m=64, s1=4.0)
+        got = early_reconnect_list_scan(
+            lst, config=cfg, switch_count=64, rng=rng
+        )
+        assert np.array_equal(got, serial_list_scan(lst))
+
+    def test_ordered_layout(self, rng):
+        lst = ordered_list(9000, values=rng.integers(-9, 9, 9000))
+        got = early_reconnect_list_scan(lst, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst))
+
+    def test_max(self, rng):
+        lst = random_list(10_000, rng, values=rng.integers(-99, 99, 10_000))
+        got = early_reconnect_list_scan(lst, MAX, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst, MAX))
+
+    def test_affine(self, rng):
+        n = 10_000
+        lst = from_order(rng.permutation(n), make_affine_values(rng, n))
+        got = early_reconnect_list_scan(lst, AFFINE, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst, AFFINE))
+
+    def test_inclusive(self, rng):
+        lst = random_list(5000, rng, values=rng.integers(-9, 9, 5000))
+        got = early_reconnect_list_scan(lst, inclusive=True, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst, inclusive=True))
+
+    def test_restores_input(self, rng):
+        lst = random_list(20_000, rng, values=rng.integers(-9, 9, 20_000))
+        bn, bv = lst.next.copy(), lst.values.copy()
+        early_reconnect_list_scan(lst, rng=rng)
+        assert np.array_equal(lst.next, bn)
+        assert np.array_equal(lst.values, bv)
+
+    def test_many_seeds(self, rng):
+        lst = random_list(2500, rng, values=rng.integers(-9, 9, 2500))
+        expect = serial_list_scan(lst)
+        for seed in range(10):
+            got = early_reconnect_list_scan(lst, switch_count=8, rng=seed)
+            assert np.array_equal(got, expect), seed
+
+    def test_via_dispatch(self, rng):
+        from repro.core.list_scan import list_scan
+
+        lst = random_list(6000, rng, values=rng.integers(-9, 9, 6000))
+        got = list_scan(lst, algorithm="early_reconnect", rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst))
+
+
+class TestBookkeepingBenefit:
+    def test_fewer_short_vector_rounds(self, rng):
+        """The switch removes the long tail of short-vector steps."""
+        n = 200_000
+        lst = random_list(n, rng)
+        s_plain = ScanStats()
+        early_reconnect_list_scan(lst, switch_count=0, rng=1, stats=s_plain)
+        s_early = ScanStats()
+        early_reconnect_list_scan(lst, switch_count=None, rng=1, stats=s_early)
+        assert s_early.rounds < s_plain.rounds
+
+    def test_stats_record_bookkeeping_scatters(self, rng):
+        stats = ScanStats()
+        early_reconnect_list_scan(
+            random_list(10_000, rng), switch_count=4, rng=1, stats=stats
+        )
+        assert stats.scatters > 0

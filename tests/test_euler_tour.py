@@ -1,0 +1,143 @@
+"""Tests for the Euler-tour application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.euler_tour import (
+    build_euler_tour,
+    random_parent_tree,
+    tree_measures,
+)
+from repro.lists.validate import validate_list_strict
+
+
+def reference_measures(parent: np.ndarray, root: int = 0) -> dict:
+    """Direct DFS oracle for depth / preorder / postorder / sizes."""
+    n = parent.shape[0]
+    children = [[] for _ in range(n)]
+    for v in range(n):
+        if v != root:
+            children[parent[v]].append(v)
+    depth = np.zeros(n, dtype=np.int64)
+    preorder = np.zeros(n, dtype=np.int64)
+    postorder = np.zeros(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    pre_counter = [0]
+    post_counter = [0]
+    stack = [(root, False)]
+    while stack:
+        v, done = stack.pop()
+        if done:
+            postorder[v] = post_counter[0]
+            post_counter[0] += 1
+            for c in children[v]:
+                size[v] += size[c]
+            continue
+        preorder[v] = pre_counter[0]
+        pre_counter[0] += 1
+        stack.append((v, True))
+        for c in reversed(children[v]):
+            depth[c] = depth[v] + 1
+            stack.append((c, False))
+    return {
+        "depth": depth,
+        "preorder": preorder,
+        "postorder": postorder,
+        "subtree_size": size,
+    }
+
+
+def chain_tree(n):
+    parent = np.arange(-1, n - 1, dtype=np.int64)
+    parent[0] = 0
+    return parent
+
+
+def star_tree(n):
+    return np.zeros(n, dtype=np.int64)
+
+
+class TestBuildEulerTour:
+    def test_tour_is_valid_list(self, rng):
+        parent = random_parent_tree(200, rng)
+        et = build_euler_tour(parent)
+        validate_list_strict(et.tour)
+
+    def test_tour_length(self, rng):
+        parent = random_parent_tree(50, rng)
+        et = build_euler_tour(parent)
+        assert et.tour.n == 2 * 49
+
+    def test_dart_endpoints(self, rng):
+        parent = random_parent_tree(50, rng)
+        et = build_euler_tour(parent)
+        # twin darts reverse each other
+        assert np.array_equal(et.dart_from[0::2], et.dart_to[1::2])
+        assert np.array_equal(et.dart_to[0::2], et.dart_from[1::2])
+
+    def test_tour_is_connected_walk(self, rng):
+        """Consecutive darts share the intermediate vertex."""
+        from repro.lists.generate import list_order
+
+        parent = random_parent_tree(40, rng)
+        et = build_euler_tour(parent)
+        order = list_order(et.tour)
+        for a, b in zip(order[:-1], order[1:]):
+            assert et.dart_to[a] == et.dart_from[b]
+
+    def test_starts_and_ends_at_root(self, rng):
+        from repro.lists.generate import list_order
+
+        parent = random_parent_tree(40, rng)
+        et = build_euler_tour(parent)
+        order = list_order(et.tour)
+        assert et.dart_from[order[0]] == et.root
+        assert et.dart_to[order[-1]] == et.root
+
+    def test_rejects_tiny_tree(self):
+        with pytest.raises(ValueError):
+            build_euler_tour(np.array([0]))
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ValueError, match="root"):
+            build_euler_tour(np.array([1, 0]), root=0)
+
+
+class TestTreeMeasures:
+    @pytest.mark.parametrize("n", [2, 3, 10, 200, 1500])
+    def test_random_trees_match_dfs(self, n, rng):
+        parent = random_parent_tree(n, rng)
+        got = tree_measures(parent, rng=rng)
+        ref = reference_measures(parent)
+        assert np.array_equal(got["depth"], ref["depth"])
+        assert np.array_equal(got["subtree_size"], ref["subtree_size"])
+        # our preorder numbers count entry order, same as DFS when the
+        # rotation system lists children in index order
+        assert np.array_equal(got["preorder"], ref["preorder"])
+        assert np.array_equal(got["postorder"], ref["postorder"])
+
+    def test_chain(self):
+        parent = chain_tree(100)
+        got = tree_measures(parent)
+        assert np.array_equal(got["depth"], np.arange(100))
+        assert np.array_equal(got["subtree_size"], np.arange(100, 0, -1))
+
+    def test_star(self):
+        got = tree_measures(star_tree(64))
+        assert got["depth"][0] == 0
+        assert np.all(got["depth"][1:] == 1)
+        assert got["subtree_size"][0] == 64
+        assert np.all(got["subtree_size"][1:] == 1)
+
+    def test_singleton(self):
+        got = tree_measures(np.array([0]))
+        assert got["depth"][0] == 0
+        assert got["subtree_size"][0] == 1
+
+    @pytest.mark.parametrize("algorithm", ["serial", "wyllie", "sublist"])
+    def test_algorithm_independence(self, algorithm, rng):
+        parent = random_parent_tree(300, rng)
+        got = tree_measures(parent, algorithm=algorithm, rng=rng)
+        ref = reference_measures(parent)
+        assert np.array_equal(got["depth"], ref["depth"])
+        assert np.array_equal(got["subtree_size"], ref["subtree_size"])

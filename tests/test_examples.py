@@ -1,0 +1,52 @@
+"""Smoke tests: the example scripts run end to end.
+
+The slow, sweep-heavy examples (``cray_c90_reproduction.py``,
+``make_figures.py``) are exercised by the benchmark suite instead.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "20000")
+        assert "rank of tail = 19999" in out
+        assert out.count("ok") >= 5
+        assert "MISMATCH" not in out
+
+    def test_euler_tour_demo(self):
+        out = run_example("euler_tour_demo.py", "3000")
+        assert "depths verified against direct propagation" in out
+        assert "root subtree size         : 3000" in out
+
+    def test_expression_evaluation(self):
+        out = run_example("expression_evaluation.py", "300")
+        assert "values agree" in out
+        assert "verified against direct iteration" in out
+
+    def test_load_balancing(self):
+        out = run_example("load_balancing.py")
+        assert "imbalance" in out
+        assert "contiguous runs along the list: 8" in out
+
+    def test_pack_schedule_explorer(self):
+        out = run_example("pack_schedule_explorer.py")
+        assert "pack points" in out
+        assert "asymptote" in out

@@ -1,0 +1,76 @@
+"""Unit tests for the Section 6 extension models."""
+
+import pytest
+
+from repro.analysis.cost_model import PAPER_C90_COSTS
+from repro.analysis.extensions import (
+    early_reconnect_advantage,
+    half_performance_length,
+    reconnect_cost,
+    tail_cost,
+    with_half_length,
+)
+
+
+class TestHalfLength:
+    def test_c90_half_length(self):
+        # b/a = 180/8.4 ≈ 21.4
+        assert half_performance_length() == pytest.approx(180 / 8.4)
+
+    def test_with_half_length_sets_target(self):
+        costs = with_half_length(500.0)
+        assert costs.b / costs.a == pytest.approx(500.0)
+
+    def test_throughput_unchanged(self):
+        costs = with_half_length(500.0)
+        assert costs.a == PAPER_C90_COSTS.a
+
+
+class TestTailCost:
+    def test_zero_when_no_stragglers(self):
+        assert tail_cost(10_000, 100, 100) == 0.0
+
+    def test_grows_with_step_constant(self):
+        base = tail_cost(1_000_000, 3000, 300)
+        long_pipe = tail_cost(1_000_000, 3000, 300, with_half_length(1000))
+        assert long_pipe > 2 * base
+
+    def test_fewer_stragglers_cheaper_tail(self):
+        late = tail_cost(1_000_000, 3000, 30)
+        early = tail_cost(1_000_000, 3000, 600)
+        assert late < early
+
+
+class TestReconnectCost:
+    def test_positive(self):
+        assert reconnect_cost(1_000_000, 3000, 300) > 0
+
+    def test_bookkeeping_dominated_by_n(self):
+        """The per-element bookkeeping scatter scales with n."""
+        small = reconnect_cost(100_000, 3000, 300)
+        big = reconnect_cost(1_000_000, 3000, 300)
+        assert big > 5 * small
+
+
+class TestAdvantage:
+    def test_not_worth_it_on_the_c90(self):
+        """The paper did not implement the variant on the C-90 — the
+        model agrees: short pipes make the tail cheap."""
+        assert early_reconnect_advantage(1_000_000, 3000) < 1.0
+
+    def test_crosses_over_on_long_pipes(self):
+        """"The trade off may be worth it if the vector machine has
+        long vector half lengths"."""
+        adv = early_reconnect_advantage(
+            1_000_000, 3000, costs=with_half_length(1000.0)
+        )
+        assert adv > 2.0
+
+    def test_monotone_in_half_length(self):
+        advs = [
+            early_reconnect_advantage(
+                1_000_000, 3000, costs=with_half_length(h)
+            )
+            for h in (20, 100, 500, 2000)
+        ]
+        assert all(a < b for a, b in zip(advs, advs[1:]))

@@ -1,0 +1,55 @@
+"""Smoke tests for the figure CSV series (small sizes)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    figure4_series,
+    figure11_series,
+    figure12_series,
+    write_csv,
+)
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(
+            str(tmp_path / "t.csv"), ["a", "b"], [[1, 2.5], [3, 4.5]]
+        )
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+
+class TestSeries:
+    def test_registry_complete(self):
+        assert set(ALL_FIGURES) == {
+            "fig01", "fig03", "fig04", "fig11", "fig12", "fig14", "fig15",
+        }
+
+    def test_figure11(self, tmp_path):
+        data = figure11_series(out_dir=str(tmp_path))
+        assert (tmp_path / "figure11.csv").exists()
+        rows = np.asarray([r[2:] for r in data["rows"]], dtype=np.float64)
+        # expected/observed columns positive and ordered (min ≤ mean ≤ max)
+        assert np.all(rows[:, 2] <= rows[:, 1] + 1e-9)
+        assert np.all(rows[:, 1] <= rows[:, 3] + 1e-9)
+
+    def test_figure12(self):
+        data = figure12_series()
+        g_vals = [r[1] for r in data["rows"]]
+        assert max(g_vals) <= 200.0 + 1e-9
+        pack_rows = [r for r in data["rows"] if r[2] == 1]
+        assert 9 <= len(pack_rows) <= 13
+
+    def test_figure4(self):
+        data = figure4_series()
+        assert len(data["rows"]) == 8
+        # p=1 row: all speedups ≈ 1
+        assert all(abs(s - 1.0) < 1e-9 for s in data["rows"][0][1:])
+        # speedup at p=8 for the 2M column in the paper's range
+        assert 4.5 < data["rows"][-1][3] <= 8.0

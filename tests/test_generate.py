@@ -1,0 +1,179 @@
+"""Unit tests for the linked-list generators."""
+
+import numpy as np
+import pytest
+
+from repro.lists.generate import (
+    INDEX_DTYPE,
+    LinkedList,
+    blocked_list,
+    from_order,
+    list_order,
+    ordered_list,
+    pathological_bank_list,
+    random_list,
+    random_values,
+    reversed_list,
+    unit_values,
+)
+from repro.lists.validate import validate_list_strict
+
+
+class TestLinkedList:
+    def test_defaults_unit_values(self):
+        lst = ordered_list(5)
+        assert np.array_equal(lst.values, np.ones(5, dtype=np.int64))
+
+    def test_n_property(self):
+        assert ordered_list(17).n == 17
+
+    def test_tail_of_ordered(self):
+        assert ordered_list(9).tail == 8
+
+    def test_tail_of_reversed(self):
+        assert reversed_list(9).tail == 0
+
+    def test_tail_raises_on_multiple_self_loops(self):
+        nxt = np.array([0, 1, 1], dtype=INDEX_DTYPE)
+        lst = LinkedList.__new__(LinkedList)
+        lst.next = nxt
+        lst.head = 2
+        lst.values = np.ones(3)
+        with pytest.raises(ValueError, match="self-loops"):
+            _ = lst.tail
+
+    def test_copy_is_deep(self):
+        lst = ordered_list(4)
+        cp = lst.copy()
+        cp.next[0] = 3
+        cp.values[0] = 99
+        assert lst.next[0] == 1
+        assert lst.values[0] == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinkedList(np.empty(0, dtype=INDEX_DTYPE), 0)
+
+    def test_rejects_bad_head(self):
+        with pytest.raises(ValueError, match="head"):
+            LinkedList(np.array([1, 1], dtype=INDEX_DTYPE), 5)
+
+    def test_rejects_value_length_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            LinkedList(np.array([1, 1], dtype=INDEX_DTYPE), 0, np.ones(3))
+
+    def test_accepts_2d_values(self):
+        lst = LinkedList(np.array([1, 1], dtype=INDEX_DTYPE), 0, np.ones((2, 2)))
+        assert lst.values.shape == (2, 2)
+
+    def test_index_dtype_coercion(self):
+        lst = LinkedList(np.array([1, 1], dtype=np.int32), 0)
+        assert lst.next.dtype == INDEX_DTYPE
+
+
+class TestFromOrder:
+    def test_visits_in_given_order(self, rng):
+        order = rng.permutation(50)
+        lst = from_order(order)
+        assert np.array_equal(list_order(lst), order)
+
+    def test_head_is_first(self, rng):
+        order = rng.permutation(10)
+        assert from_order(order).head == order[0]
+
+    def test_tail_is_last(self, rng):
+        order = rng.permutation(10)
+        assert from_order(order).tail == order[-1]
+
+    def test_singleton(self):
+        lst = from_order(np.array([0]))
+        assert lst.head == lst.tail == 0
+
+
+class TestListOrder:
+    def test_ordered(self):
+        assert np.array_equal(list_order(ordered_list(6)), np.arange(6))
+
+    def test_reversed(self):
+        assert np.array_equal(list_order(reversed_list(6)), np.arange(5, -1, -1))
+
+    def test_premature_tail_raises(self):
+        nxt = np.array([1, 1, 2], dtype=INDEX_DTYPE)  # node 2 disconnected self-loop
+        lst = LinkedList.__new__(LinkedList)
+        lst.next = nxt
+        lst.head = 0
+        lst.values = np.ones(3)
+        with pytest.raises(ValueError, match="tail after"):
+            list_order(lst)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 1000])
+    def test_random_list_valid(self, n, rng):
+        validate_list_strict(random_list(n, rng))
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 333])
+    def test_ordered_list_valid(self, n):
+        validate_list_strict(ordered_list(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 333])
+    def test_reversed_list_valid(self, n):
+        validate_list_strict(reversed_list(n))
+
+    @pytest.mark.parametrize("block", [1, 3, 16, 1000])
+    def test_blocked_list_valid(self, block, rng):
+        validate_list_strict(blocked_list(200, block, rng))
+
+    def test_blocked_list_locality(self, rng):
+        lst = blocked_list(1000, 10, rng)
+        order = list_order(lst)
+        # positions within a block of 10 stay inside that block
+        assert np.all(order // 10 == np.arange(1000) // 10)
+
+    @pytest.mark.parametrize("stride", [1, 7, 64, 128])
+    def test_pathological_bank_list_valid(self, stride):
+        validate_list_strict(pathological_bank_list(500, stride))
+
+    def test_pathological_stride_pattern(self):
+        lst = pathological_bank_list(100, 10)
+        order = list_order(lst)
+        # first residue class visited with fixed stride
+        assert np.array_equal(order[:10], np.arange(0, 100, 10))
+
+    def test_random_list_deterministic_seed(self):
+        a = random_list(64, 42)
+        b = random_list(64, 42)
+        assert np.array_equal(a.next, b.next)
+        assert a.head == b.head
+
+    def test_random_list_differs_across_seeds(self):
+        a = random_list(64, 1)
+        b = random_list(64, 2)
+        assert not np.array_equal(a.next, b.next)
+
+    @pytest.mark.parametrize("gen", [random_list, ordered_list, reversed_list])
+    def test_rejects_nonpositive_n(self, gen):
+        with pytest.raises(ValueError):
+            gen(0)
+
+    def test_blocked_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            blocked_list(10, 0)
+
+    def test_pathological_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            pathological_bank_list(10, 0)
+
+
+class TestValueGenerators:
+    def test_unit_values(self):
+        v = unit_values(7)
+        assert np.array_equal(v, np.ones(7, dtype=np.int64))
+
+    def test_random_values_range(self, rng):
+        v = random_values(1000, rng, low=-5, high=5)
+        assert v.min() >= -5 and v.max() < 5
+
+    def test_random_values_dtype(self, rng):
+        v = random_values(10, rng, dtype=np.float64)
+        assert v.dtype == np.float64

@@ -1,0 +1,84 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRecord,
+    all_records,
+    clear_records,
+    format_table,
+    record,
+    summary_lines,
+)
+from repro.bench.workloads import K, get_random_list, get_valued_list, paper_sizes
+
+
+class TestRecords:
+    def setup_method(self):
+        clear_records()
+
+    def teardown_method(self):
+        clear_records()
+
+    def test_record_registers(self):
+        rec = record("figX", "a claim", 1.0, 1.1, "ns", ok=True)
+        assert isinstance(rec, ExperimentRecord)
+        assert len(all_records()) == 1
+
+    def test_summary_format(self):
+        record("figX", "a claim", 2.0, 1.9, "×", ok=True)
+        record("figY", "another", None, 3.0, "", ok=False, note="(why)")
+        lines = summary_lines()
+        assert lines[0].startswith("[OK ] figX")
+        assert "paper=2" in lines[0]
+        assert lines[1].startswith("[DIFF] figY")
+        assert "paper=—" in lines[1]
+        assert "(why)" in lines[1]
+
+    def test_clear(self):
+        record("figX", "c", 1.0, 1.0)
+        clear_records()
+        assert all_records() == []
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["abc", 1.5], ["d", 23456.0]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-+-" in lines[1]
+        assert "abc" in lines[2]
+        assert "23,456" in lines[3]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["a"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestWorkloads:
+    def test_cached_identity(self):
+        a = get_random_list(1000)
+        b = get_random_list(1000)
+        assert a is b  # lru cache returns the same object
+
+    def test_different_seeds_differ(self):
+        a = get_random_list(1000, seed=0)
+        b = get_random_list(1000, seed=1)
+        assert not np.array_equal(a.next, b.next)
+
+    def test_valued_list_has_values(self):
+        lst = get_valued_list(500)
+        assert lst.values.min() < 0 < lst.values.max()
+
+    def test_paper_sizes(self):
+        sizes = paper_sizes(8, 512, step=4)
+        assert sizes == [8 * K, 32 * K, 128 * K, 512 * K]

@@ -1,0 +1,110 @@
+"""Unit tests for the banked-memory conflict models."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import CRAY_C90, CRAY_YMP
+from repro.machine.memory import (
+    conflict_cycles,
+    estimate_conflict_cycles,
+    exact_conflict_cycles,
+)
+
+
+class TestExactModel:
+    def test_empty_stream(self):
+        assert exact_conflict_cycles(np.empty(0, dtype=np.int64), CRAY_C90) == 0.0
+
+    def test_distinct_banks_no_stalls(self):
+        # one access per bank, round-robin: never revisits a busy bank
+        addrs = np.arange(CRAY_C90.n_banks, dtype=np.int64)
+        assert exact_conflict_cycles(addrs, CRAY_C90) == 0.0
+
+    def test_same_bank_serializes(self):
+        # every access hits bank 0: each waits bank_busy − issue_rate
+        k = 100
+        addrs = np.zeros(k, dtype=np.int64)
+        stalls = exact_conflict_cycles(addrs, CRAY_C90, issue_rate=1.0)
+        expect = (k - 1) * (CRAY_C90.bank_busy - 1.0)
+        assert stalls == pytest.approx(expect)
+
+    def test_stride_equal_to_banks(self):
+        # stride = n_banks → same bank every time → worst case
+        addrs = np.arange(100, dtype=np.int64) * CRAY_C90.n_banks
+        worst = exact_conflict_cycles(addrs, CRAY_C90)
+        good = exact_conflict_cycles(np.arange(100, dtype=np.int64), CRAY_C90)
+        assert worst > good == 0.0
+
+    def test_random_streams_nearly_conflict_free(self, rng):
+        """The paper: "since we are choosing random positions …
+        systematic memory bank conflicts are unlikely"."""
+        addrs = rng.integers(0, 1 << 24, 2000)
+        stalls = exact_conflict_cycles(addrs, CRAY_C90)
+        assert stalls / 2000 < 0.5  # well under half a cycle/element
+
+    def test_fewer_banks_more_stalls(self, rng):
+        addrs = rng.integers(0, 1 << 24, 2000)
+        c90 = exact_conflict_cycles(addrs, CRAY_C90)
+        ymp = exact_conflict_cycles(addrs, CRAY_YMP)
+        assert ymp >= c90
+
+    def test_slower_issue_fewer_stalls(self):
+        addrs = np.zeros(50, dtype=np.int64)
+        fast = exact_conflict_cycles(addrs, CRAY_C90, issue_rate=1.0)
+        slow = exact_conflict_cycles(addrs, CRAY_C90, issue_rate=2.0)
+        assert slow < fast
+
+
+class TestEstimator:
+    def test_zero_for_distinct_banks(self):
+        addrs = np.arange(4 * CRAY_C90.vector_length, dtype=np.int64)
+        assert estimate_conflict_cycles(addrs, CRAY_C90) == 0.0
+
+    def test_detects_single_bank_hotspot(self):
+        addrs = np.zeros(512, dtype=np.int64)
+        est = estimate_conflict_cycles(addrs, CRAY_C90)
+        exact = exact_conflict_cycles(addrs, CRAY_C90)
+        assert est > 0
+        assert est == pytest.approx(exact, rel=0.35)
+
+    @pytest.mark.parametrize("pattern", ["random", "stride_bank", "mixed"])
+    def test_tracks_exact_model(self, pattern, rng):
+        n = 3000
+        if pattern == "random":
+            addrs = rng.integers(0, 1 << 22, n)
+        elif pattern == "stride_bank":
+            addrs = np.arange(n, dtype=np.int64) * CRAY_C90.n_banks
+        else:
+            addrs = np.where(
+                rng.random(n) < 0.5,
+                rng.integers(0, 1 << 22, n),
+                np.int64(7),
+            )
+        est = estimate_conflict_cycles(addrs, CRAY_C90)
+        exact = exact_conflict_cycles(addrs, CRAY_C90)
+        # agreement within 40% of the stream's issue time
+        assert abs(est - exact) <= 0.4 * n + 50
+
+    def test_sampling_path_consistent(self, rng):
+        """Sampled long-stream estimate ≈ full estimate (homogeneous)."""
+        addrs = np.tile(rng.integers(0, 1 << 20, 128), 2000)  # 256K addrs
+        full = estimate_conflict_cycles(addrs, CRAY_C90, max_sample_strips=10**9)
+        sampled = estimate_conflict_cycles(addrs, CRAY_C90, max_sample_strips=128)
+        assert sampled == pytest.approx(full, rel=0.2, abs=100.0)
+
+    def test_empty(self):
+        assert estimate_conflict_cycles(np.empty(0, dtype=np.int64), CRAY_C90) == 0.0
+
+
+class TestDispatch:
+    def test_short_uses_exact(self, rng):
+        addrs = rng.integers(0, 1 << 20, 100)
+        assert conflict_cycles(addrs, CRAY_C90) == exact_conflict_cycles(
+            addrs, CRAY_C90
+        )
+
+    def test_long_uses_estimator(self, rng):
+        addrs = rng.integers(0, 1 << 20, 10_000)
+        assert conflict_cycles(addrs, CRAY_C90) == estimate_conflict_cycles(
+            addrs, CRAY_C90
+        )

@@ -1,0 +1,71 @@
+"""Unit tests for multiprocessor composition utilities."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import CRAY_C90
+from repro.machine.multiproc import combine_parallel, make_vms, shard_slices
+
+
+class TestShardSlices:
+    def test_covers_range_exactly(self):
+        slices = shard_slices(100, 7)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(100))
+
+    def test_balanced_within_one(self):
+        sizes = [s.stop - s.start for s in shard_slices(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard(self):
+        assert shard_slices(10, 1) == [slice(0, 10)]
+
+    def test_more_shards_than_items(self):
+        slices = shard_slices(3, 8)
+        sizes = [s.stop - s.start for s in slices]
+        assert sum(sizes) == 3
+        assert len(slices) == 8
+
+    def test_empty(self):
+        assert sum(s.stop - s.start for s in shard_slices(0, 4)) == 0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_slices(10, 0)
+
+
+class TestMakeVMs:
+    def test_count(self):
+        assert len(make_vms(CRAY_C90, 4)) == 4
+
+    def test_independent_ledgers(self):
+        vms = make_vms(CRAY_C90, 2)
+        vms[0].charge_cycles(10.0)
+        assert vms[1].cycles == 0.0
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError, match="at most"):
+            make_vms(CRAY_C90, 17)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_vms(CRAY_C90, 0)
+
+
+class TestCombineParallel:
+    def test_single_cpu_no_overhead(self):
+        assert combine_parallel([1000.0], CRAY_C90) == 1000.0
+
+    def test_takes_maximum(self):
+        combined = combine_parallel([100.0, 900.0, 500.0], CRAY_C90, n_syncs=0)
+        assert combined == 900.0 + CRAY_C90.task_start_cycles
+
+    def test_sync_costs_added(self):
+        a = combine_parallel([100.0, 100.0], CRAY_C90, n_syncs=1)
+        b = combine_parallel([100.0, 100.0], CRAY_C90, n_syncs=3)
+        assert b - a == pytest.approx(2 * CRAY_C90.sync_cycles)
+
+    def test_empty(self):
+        assert combine_parallel([], CRAY_C90) == 0.0

@@ -1,0 +1,158 @@
+"""Unit tests for the list mutation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import serial_list_scan
+from repro.lists.generate import list_order, ordered_list, random_list
+from repro.lists.mutate import concatenate, extract, reverse, splice_out, split_after
+from repro.lists.validate import validate_list_strict
+
+
+class TestConcatenate:
+    def test_two_lists(self, rng):
+        a = random_list(10, rng, values=rng.integers(0, 9, 10))
+        b = random_list(7, rng, values=rng.integers(0, 9, 7))
+        combined, offsets = concatenate([a, b])
+        validate_list_strict(combined)
+        assert combined.n == 17
+        assert np.array_equal(offsets, [0, 10])
+        order = list_order(combined)
+        expect = np.concatenate([list_order(a), list_order(b) + 10])
+        assert np.array_equal(order, expect)
+
+    def test_values_carried(self, rng):
+        a = ordered_list(3, values=np.array([1, 2, 3]))
+        b = ordered_list(2, values=np.array([4, 5]))
+        combined, _ = concatenate([a, b])
+        in_order = combined.values[list_order(combined)]
+        assert np.array_equal(in_order, [1, 2, 3, 4, 5])
+
+    def test_single(self, rng):
+        a = random_list(5, rng)
+        combined, offsets = concatenate([a])
+        assert np.array_equal(combined.next, a.next)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_scan_of_concatenation(self, rng):
+        """Scan of the concatenation continues across the seam."""
+        a = ordered_list(4, values=np.array([1, 1, 1, 1]))
+        b = ordered_list(3, values=np.array([1, 1, 1]))
+        combined, _ = concatenate([a, b])
+        out = serial_list_scan(combined)
+        assert np.array_equal(out[list_order(combined)], np.arange(7))
+
+
+class TestExtract:
+    def test_middle_segment(self, rng):
+        lst = random_list(20, rng, values=rng.integers(0, 99, 20))
+        order = list_order(lst)
+        piece, ids = extract(lst, int(order[5]), 6)
+        validate_list_strict(piece)
+        assert np.array_equal(ids, order[5:11])
+        assert np.array_equal(piece.values, lst.values[ids])
+
+    def test_past_tail_raises(self, rng):
+        lst = random_list(5, rng)
+        with pytest.raises(ValueError, match="past the tail"):
+            extract(lst, lst.head, 6)
+
+    def test_bad_length(self, rng):
+        with pytest.raises(ValueError):
+            extract(random_list(5, rng), 0, 0)
+
+
+class TestSplitAfter:
+    def test_pieces_partition_list(self, rng):
+        lst = random_list(30, rng, values=rng.integers(0, 99, 30))
+        order = list_order(lst)
+        pieces = split_after(lst, [int(order[9]), int(order[19])])
+        assert len(pieces) == 3
+        sizes = [p.n for p, _ in pieces]
+        assert sizes == [10, 10, 10]
+        recovered = np.concatenate([ids for _, ids in pieces])
+        assert np.array_equal(recovered, order)
+        for piece, ids in pieces:
+            validate_list_strict(piece)
+            assert np.array_equal(piece.values[np.arange(piece.n)], lst.values[ids])
+
+    def test_split_after_tail_noop(self, rng):
+        lst = random_list(10, rng)
+        pieces = split_after(lst, [lst.tail])
+        assert len(pieces) == 1
+        assert pieces[0][0].n == 10
+
+    def test_no_cuts(self, rng):
+        lst = random_list(10, rng)
+        pieces = split_after(lst, [])
+        assert len(pieces) == 1
+
+    def test_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            split_after(random_list(5, rng), [99])
+
+    def test_input_untouched(self, rng):
+        lst = random_list(15, rng)
+        before = lst.next.copy()
+        split_after(lst, [3, 7])
+        assert np.array_equal(lst.next, before)
+
+
+class TestReverse:
+    def test_order_reversed(self, rng):
+        lst = random_list(25, rng)
+        rev = reverse(lst)
+        validate_list_strict(rev)
+        assert np.array_equal(list_order(rev), list_order(lst)[::-1])
+
+    def test_involution(self, rng):
+        lst = random_list(25, rng)
+        assert np.array_equal(list_order(reverse(reverse(lst))), list_order(lst))
+
+    def test_singleton(self):
+        lst = ordered_list(1)
+        rev = reverse(lst)
+        assert rev.head == 0
+
+
+class TestSpliceOut:
+    def test_middle(self, rng):
+        lst = random_list(20, rng, values=rng.integers(0, 99, 20))
+        order = list_order(lst)
+        (rem, rem_ids), (seg, seg_ids) = splice_out(
+            lst, int(order[5]), int(order[9])
+        )
+        validate_list_strict(rem)
+        validate_list_strict(seg)
+        assert np.array_equal(seg_ids, order[5:10])
+        assert np.array_equal(rem_ids, np.concatenate([order[:5], order[10:]]))
+
+    def test_prefix(self, rng):
+        lst = random_list(12, rng)
+        order = list_order(lst)
+        (rem, rem_ids), (seg, seg_ids) = splice_out(
+            lst, int(order[0]), int(order[3])
+        )
+        assert np.array_equal(seg_ids, order[:4])
+        assert rem.n == 8
+
+    def test_suffix(self, rng):
+        lst = random_list(12, rng)
+        order = list_order(lst)
+        (rem, rem_ids), _ = splice_out(lst, int(order[8]), int(order[11]))
+        assert rem.n == 8
+        assert np.array_equal(rem_ids, order[:8])
+
+    def test_wrong_direction(self, rng):
+        lst = random_list(10, rng)
+        order = list_order(lst)
+        with pytest.raises(ValueError, match="order"):
+            splice_out(lst, int(order[5]), int(order[2]))
+
+    def test_cannot_remove_all(self, rng):
+        lst = random_list(6, rng)
+        with pytest.raises(ValueError, match="every node"):
+            splice_out(lst, lst.head, lst.tail)

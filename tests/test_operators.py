@@ -1,0 +1,173 @@
+"""Unit tests for the operator abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import (
+    AFFINE,
+    AND,
+    BUILTIN_OPERATORS,
+    MAX,
+    MIN,
+    OR,
+    PROD,
+    SUM,
+    XOR,
+    Operator,
+    get_operator,
+)
+
+SCALAR_OPS = [SUM, PROD, MIN, MAX, XOR, AND, OR]
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("op", SCALAR_OPS, ids=lambda o: o.name)
+    def test_identity_is_neutral(self, op, rng):
+        x = rng.integers(-100, 100, 50)
+        ident = op.identity_for(x.dtype)
+        assert np.array_equal(op.combine(ident, x), x)
+        assert np.array_equal(op.combine(x, ident), x)
+
+    def test_min_identity_int(self):
+        assert MIN.identity_for(np.int64) == np.iinfo(np.int64).max
+
+    def test_min_identity_float(self):
+        assert MIN.identity_for(np.float64) == np.inf
+
+    def test_max_identity_int(self):
+        assert MAX.identity_for(np.int32) == np.iinfo(np.int32).min
+
+    def test_max_identity_float(self):
+        assert MAX.identity_for(np.float32) == -np.inf
+
+    def test_affine_identity_is_neutral(self, rng):
+        f = np.stack([rng.integers(1, 5, 20), rng.integers(-5, 5, 20)], axis=1)
+        ident = AFFINE.identity_for(np.int64)
+        assert np.array_equal(AFFINE.combine(ident, f), f)
+        assert np.array_equal(AFFINE.combine(f, ident), f)
+
+    def test_identity_array_shape_scalar(self):
+        arr = SUM.identity_array(5, np.int64)
+        assert arr.shape == (5,)
+        assert np.all(arr == 0)
+
+    def test_identity_array_shape_affine(self):
+        arr = AFFINE.identity_array(4, np.int64)
+        assert arr.shape == (4, 2)
+        assert np.all(arr == [1, 0])
+
+
+class TestAssociativity:
+    @pytest.mark.parametrize("op", SCALAR_OPS, ids=lambda o: o.name)
+    def test_scalar_ops(self, op, rng):
+        a, b, c = (rng.integers(1, 50, 30) for _ in range(3))
+        left = op.combine(op.combine(a, b), c)
+        right = op.combine(a, op.combine(b, c))
+        assert np.array_equal(left, right)
+
+    def test_affine(self, rng):
+        f, g, h = (
+            np.stack([rng.integers(1, 4, 30), rng.integers(-5, 5, 30)], axis=1)
+            for _ in range(3)
+        )
+        left = AFFINE.combine(AFFINE.combine(f, g), h)
+        right = AFFINE.combine(f, AFFINE.combine(g, h))
+        assert np.array_equal(left, right)
+
+    def test_affine_is_not_commutative(self):
+        f = np.array([2, 0], dtype=np.int64)
+        g = np.array([1, 3], dtype=np.int64)
+        assert not np.array_equal(AFFINE.combine(f, g), AFFINE.combine(g, f))
+
+    def test_affine_composition_semantics(self):
+        # apply f(x)=2x+1 then g(x)=3x+4: g(f(x)) = 6x + 7
+        f = np.array([2, 1], dtype=np.int64)
+        g = np.array([3, 4], dtype=np.int64)
+        assert np.array_equal(AFFINE.combine(f, g), [6, 7])
+
+
+class TestAccumulate:
+    @pytest.mark.parametrize("op", SCALAR_OPS, ids=lambda o: o.name)
+    def test_matches_loop(self, op, rng):
+        x = rng.integers(1, 20, 40)
+        acc = op.accumulate(x)
+        expect = x.copy()
+        for i in range(1, len(x)):
+            expect[i] = op.combine(expect[i - 1], x[i])
+        assert np.array_equal(acc, expect)
+
+    def test_affine_accumulate_matches_loop(self, rng):
+        x = np.stack([rng.integers(1, 3, 33), rng.integers(-4, 4, 33)], axis=1)
+        acc = AFFINE.accumulate(x)
+        expect = x.copy()
+        for i in range(1, len(x)):
+            expect[i] = AFFINE.combine(expect[i - 1], x[i])
+        assert np.array_equal(acc, expect)
+
+    def test_empty(self):
+        assert SUM.accumulate(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_single(self):
+        assert np.array_equal(SUM.accumulate(np.array([7])), [7])
+
+
+class TestReduce:
+    def test_sum(self, rng):
+        x = rng.integers(-50, 50, 100)
+        assert SUM.reduce(x) == x.sum()
+
+    def test_max(self, rng):
+        x = rng.integers(-50, 50, 100)
+        assert MAX.reduce(x) == x.max()
+
+    def test_empty_gives_identity(self):
+        assert SUM.reduce(np.empty(0, dtype=np.int64)) == 0
+
+    def test_affine_reduce(self, rng):
+        x = np.stack([rng.integers(1, 3, 9), rng.integers(-4, 4, 9)], axis=1)
+        assert np.array_equal(AFFINE.reduce(x), AFFINE.accumulate(x)[-1])
+
+
+class TestInvertibility:
+    def test_sum_remove(self, rng):
+        total = rng.integers(0, 100, 20)
+        part = rng.integers(0, 50, 20)
+        rest = SUM.remove(total, part)
+        assert np.array_equal(SUM.combine(rest, part), total)
+
+    def test_xor_remove(self, rng):
+        total = rng.integers(0, 1 << 30, 20)
+        part = rng.integers(0, 1 << 30, 20)
+        rest = XOR.remove(total, part)
+        assert np.array_equal(XOR.combine(rest, part), total)
+
+    def test_non_invertible_flags(self):
+        for op in (PROD, MIN, MAX, AND, OR, AFFINE):
+            assert not op.invertible
+
+    def test_invertible_requires_remove(self):
+        with pytest.raises(ValueError, match="remove"):
+            Operator(name="bad", combine=np.add, identity=0, invertible=True)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_operator("sum") is SUM
+        assert get_operator("affine") is AFFINE
+
+    def test_get_passthrough(self):
+        assert get_operator(MAX) is MAX
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown operator"):
+            get_operator("nosuch")
+
+    def test_all_builtins_registered(self):
+        assert set(BUILTIN_OPERATORS) == {
+            "sum", "prod", "min", "max", "xor", "and", "or", "affine",
+        }
+
+    def test_no_identity_for_unknown(self):
+        op = Operator(name="weird", combine=np.add)
+        with pytest.raises(TypeError):
+            op.identity_for(np.int64)

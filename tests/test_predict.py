@@ -1,0 +1,70 @@
+"""Tests for the performance prediction model (Figure 14's machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.predict import (
+    asymptotic_clocks_per_element,
+    predict_curve,
+    predict_run,
+)
+from repro.lists.generate import random_list
+from repro.simulate.sublist_sim import SimSublistConfig, sublist_scan_sim
+
+
+class TestPredictRun:
+    def test_fields(self):
+        pred = predict_run(100_000)
+        assert pred.n == 100_000
+        assert pred.m >= 2
+        assert pred.s1 > 0
+        assert pred.n_packs >= 1
+        assert pred.cycles > 0
+
+    def test_per_element_decreases_with_n(self):
+        """Figure 14's falling curve: constants amortize."""
+        small = predict_run(16 * 1024)
+        large = predict_run(4 * 1024 * 1024)
+        assert large.clocks_per_element < small.clocks_per_element
+
+    def test_asymptote_near_paper(self):
+        """Paper: "an asymptote of about 8.6 clocks per element"."""
+        asym = asymptotic_clocks_per_element()
+        assert 8.4 <= asym <= 10.0
+
+    def test_ns_per_element(self):
+        pred = predict_run(1 << 20)
+        assert pred.ns_per_element == pytest.approx(
+            pred.clocks_per_element * 4.2
+        )
+
+    def test_multiprocessor_speedup(self):
+        p1 = predict_run(1 << 23, n_processors=1)
+        p8 = predict_run(1 << 23, n_processors=8)
+        speedup = p1.cycles / p8.cycles
+        # paper: 6.7 on 8 CPUs
+        assert 4.5 < speedup <= 8.0
+
+    def test_explicit_parameters(self):
+        pred = predict_run(100_000, m=500, s1=25.0)
+        assert pred.m == 500 and pred.s1 == 25.0
+
+
+class TestPredictCurve:
+    def test_sweep(self):
+        preds = predict_curve([1 << 14, 1 << 16, 1 << 18])
+        assert [p.n for p in preds] == [1 << 14, 1 << 16, 1 << 18]
+
+
+class TestPredictionAccuracy:
+    """Figure 14's claim: "the equation is an accurate predictor of the
+    running time"."""
+
+    @pytest.mark.parametrize("n", [1 << 17, 1 << 20])
+    def test_tracks_simulator(self, n, rng):
+        pred = predict_run(n)
+        lst = random_list(n, rng)
+        cfg = SimSublistConfig(m=pred.m, s1=pred.s1)
+        measured = sublist_scan_sim(lst, sim_config=cfg, rng=0)
+        ratio = measured.cycles / pred.cycles
+        assert 0.75 < ratio < 1.35, f"n={n}: ratio={ratio:.3f}"

@@ -1,0 +1,90 @@
+"""Unit tests for the Miller/Reif random-mate algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_mate import random_mate_list_rank, random_mate_list_scan
+from repro.baselines.serial import serial_list_rank, serial_list_scan
+from repro.core.operators import AFFINE, MAX, SUM
+from repro.core.stats import ScanStats
+from repro.lists.generate import from_order, ordered_list, random_list, reversed_list
+from .conftest import make_affine_values
+
+SIZES = [1, 2, 3, 4, 5, 8, 50, 333, 5000]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_random_lists(self, n, rng):
+        lst = random_list(n, rng, values=rng.integers(-9, 9, n))
+        got = random_mate_list_scan(lst, rng=rng)
+        assert np.array_equal(got, serial_list_scan(lst)), f"n={n}"
+
+    @pytest.mark.parametrize("layout", [ordered_list, reversed_list])
+    def test_layouts(self, layout, rng):
+        lst = layout(777, values=rng.integers(-9, 9, 777))
+        assert np.array_equal(
+            random_mate_list_scan(lst, rng=rng), serial_list_scan(lst)
+        )
+
+    def test_max(self, rng):
+        lst = random_list(1000, rng, values=rng.integers(-99, 99, 1000))
+        assert np.array_equal(
+            random_mate_list_scan(lst, MAX, rng=rng), serial_list_scan(lst, MAX)
+        )
+
+    def test_affine(self, rng):
+        n = 1000
+        lst = from_order(rng.permutation(n), make_affine_values(rng, n))
+        assert np.array_equal(
+            random_mate_list_scan(lst, AFFINE, rng=rng),
+            serial_list_scan(lst, AFFINE),
+        )
+
+    def test_inclusive(self, rng):
+        lst = random_list(500, rng, values=rng.integers(-9, 9, 500))
+        assert np.array_equal(
+            random_mate_list_scan(lst, inclusive=True, rng=rng),
+            serial_list_scan(lst, inclusive=True),
+        )
+
+    def test_rank(self, rng):
+        lst = random_list(800, rng)
+        assert np.array_equal(
+            random_mate_list_rank(lst, rng=rng), serial_list_rank(lst)
+        )
+
+    def test_input_unmodified(self, small_list, rng):
+        before = small_list.next.copy()
+        random_mate_list_scan(small_list, rng=rng)
+        assert np.array_equal(small_list.next, before)
+
+    def test_many_seeds(self, rng):
+        """Randomized control flow: exercise many coin sequences."""
+        lst = random_list(97, rng, values=rng.integers(-9, 9, 97))
+        expect = serial_list_scan(lst)
+        for seed in range(20):
+            assert np.array_equal(random_mate_list_scan(lst, rng=seed), expect)
+
+
+class TestStats:
+    def test_log_rounds(self, rng):
+        n = 4096
+        stats = ScanStats()
+        random_mate_list_scan(random_list(n, rng), rng=rng, stats=stats)
+        # expected 1/4 removal per round → ~log_{4/3} n ≈ 29 rounds;
+        # rounds counts contraction + reconstruction replays
+        assert 10 < stats.rounds < 150
+
+    def test_work_is_linear_but_constant_heavy(self, rng):
+        n = 50_000
+        stats = ScanStats()
+        random_mate_list_scan(random_list(n, rng), rng=rng, stats=stats)
+        per_elem = stats.work_per_element(n)
+        # geometric series: Σ live ≈ 4n contract + n reconstruct
+        assert 3.0 < per_elem < 8.0
+
+    def test_packs_every_round(self, rng):
+        stats = ScanStats()
+        random_mate_list_scan(random_list(1000, rng), rng=rng, stats=stats)
+        assert stats.packs > 0

@@ -1,0 +1,86 @@
+"""Unit tests for the linear-recurrence application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.recurrence import recurrence_list, solve_linear_recurrence
+from repro.lists.generate import LinkedList
+
+
+def serial_solve(a, b, x0):
+    xs = np.empty(len(a) + 1)
+    xs[0] = x0
+    for k in range(len(a)):
+        xs[k + 1] = a[k] * xs[k] + b[k]
+    return xs
+
+
+class TestRecurrenceList:
+    def test_shapes(self, rng):
+        lst = recurrence_list(rng.random(10), rng.random(10))
+        assert lst.values.shape == (10, 2)
+
+    def test_rejects_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            recurrence_list(np.ones(3), np.ones(4))
+
+    def test_custom_order(self, rng):
+        order = rng.permutation(20)
+        a, b = rng.random(20), rng.random(20)
+        lst = recurrence_list(a, b, order=order)
+        # node order[k] holds the k-th coefficients
+        assert np.allclose(lst.values[order[5], 0], a[5])
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 2, 10, 1000, 20_000])
+    def test_matches_serial_iteration(self, n, rng):
+        a = rng.uniform(0.5, 1.5, n)
+        b = rng.uniform(-1.0, 1.0, n)
+        x0 = 2.5
+        lst = recurrence_list(a, b)
+        got = solve_linear_recurrence(lst, x0=x0, rng=rng)
+        expect = serial_solve(a, b, x0)[:-1]  # state before each node
+        assert np.allclose(got, expect, rtol=1e-9)
+
+    def test_shuffled_memory_layout(self, rng):
+        n = 5000
+        order = rng.permutation(n)
+        a = rng.uniform(0.5, 1.5, n)
+        b = rng.uniform(-1.0, 1.0, n)
+        lst = recurrence_list(a, b, order=order)
+        got = solve_linear_recurrence(lst, x0=1.0, rng=rng)
+        expect = serial_solve(a, b, 1.0)[:-1]
+        # node order[k] holds state x_k
+        assert np.allclose(got[order], expect, rtol=1e-9)
+
+    def test_geometric_series(self, rng):
+        """x_{k+1} = 2·x_k with x0=1 gives powers of two."""
+        n = 30
+        lst = recurrence_list(np.full(n, 2.0), np.zeros(n))
+        got = solve_linear_recurrence(lst, x0=1.0)
+        assert np.allclose(got, 2.0 ** np.arange(n))
+
+    def test_fibonacci_like_affine(self):
+        """x_{k+1} = x_k + 1 counts steps."""
+        n = 100
+        lst = recurrence_list(np.ones(n), np.ones(n))
+        got = solve_linear_recurrence(lst, x0=0.0)
+        assert np.allclose(got, np.arange(n, dtype=float))
+
+    def test_rejects_scalar_values(self, rng):
+        from repro.lists.generate import random_list
+
+        lst = random_list(10, rng)
+        with pytest.raises(ValueError, match="shape"):
+            solve_linear_recurrence(lst)
+
+    @pytest.mark.parametrize("algorithm", ["serial", "wyllie", "sublist"])
+    def test_any_algorithm(self, algorithm, rng):
+        n = 2000
+        a = rng.uniform(0.9, 1.1, n)
+        b = rng.uniform(-0.5, 0.5, n)
+        lst = recurrence_list(a, b)
+        got = solve_linear_recurrence(lst, x0=1.0, algorithm=algorithm, rng=rng)
+        expect = serial_solve(a, b, 1.0)[:-1]
+        assert np.allclose(got, expect, rtol=1e-8)

@@ -1,0 +1,193 @@
+"""Unit tests for pack scheduling (paper Section 4.2–4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_model import PAPER_C90_COSTS, phase13_time_from_schedule
+from repro.analysis.distribution import expected_longest
+from repro.core.schedule import (
+    ScheduleIterator,
+    every_step_schedule,
+    integer_gaps,
+    numeric_optimal_schedule,
+    optimal_schedule,
+    slope_condition_residuals,
+    uniform_schedule,
+)
+
+
+class TestOptimalSchedule:
+    def test_strictly_increasing(self):
+        sch = optimal_schedule(10_000, 200, 14.7)
+        assert np.all(np.diff(sch) > 0)
+
+    def test_covers_longest_sublist(self):
+        n, m = 10_000, 200
+        sch = optimal_schedule(n, m, 14.7)
+        assert sch[-1] >= expected_longest(n, m)
+
+    def test_paper_figure12_pack_count(self):
+        """Figure 12: n=10000, m=200, S1=14.7 → 11 packs (±2 for our
+        slightly different terminal handling)."""
+        sch = optimal_schedule(10_000, 200, 14.7)
+        assert 9 <= len(sch) <= 13
+
+    def test_satisfies_slope_condition(self):
+        sch = optimal_schedule(10_000, 200, 14.7, guard="none")
+        res = slope_condition_residuals(sch, 10_000, 200)
+        # all interior points except the one adjacent to the clamped
+        # terminal pack point satisfy Eq. 5 exactly
+        assert np.max(np.abs(res[:-1])) < 1e-6
+
+    def test_matches_numeric_optimum(self):
+        """The Eq. 6 recurrence reproduces the directly minimized
+        schedule to within a tight time margin."""
+        n, m = 10_000, 200
+        sch = optimal_schedule(n, m, 14.7, guard="none")
+        num = numeric_optimal_schedule(n, m, len(sch))
+        t_rec = phase13_time_from_schedule(n, m, sch)
+        t_num = phase13_time_from_schedule(n, m, num)
+        assert t_rec <= t_num * 1.05
+
+    def test_beats_uniform_schedule(self):
+        """With a tuned S1, the Eq. 6 schedule beats evenly spaced packs
+        at every pack count (the paper's argument for non-linear
+        spacing, Section 4.3)."""
+        n, m = 50_000, 500
+        t_opt = min(
+            phase13_time_from_schedule(n, m, optimal_schedule(n, m, s1))
+            for s1 in np.geomspace(5, 300, 30)
+        )
+        for n_packs in (4, 8, 16, 24, 32):
+            t_uni = phase13_time_from_schedule(
+                n, m, uniform_schedule(n, m, n_packs)
+            )
+            assert t_opt < t_uni
+
+    def test_beats_every_step(self):
+        n, m = 50_000, 500
+        opt = optimal_schedule(n, m, 20.0)
+        every = every_step_schedule(n, m)
+        t_opt = phase13_time_from_schedule(n, m, opt)
+        t_every = phase13_time_from_schedule(n, m, every)
+        assert t_opt < t_every
+
+    def test_gaps_grow_with_monotonic_guard(self):
+        sch = optimal_schedule(10_000, 200, 14.7, guard="monotonic_gaps")
+        gaps = np.diff(np.concatenate(([0.0], sch)))
+        assert np.all(np.diff(gaps) >= -1e-9)
+
+    def test_tiny_s1_collapses_without_guard(self):
+        """The paper's sensitivity observation: too-small S1 makes the
+        raw recurrence pack ever more frequently."""
+        with pytest.raises(ValueError, match="collapsed"):
+            optimal_schedule(10_000, 200, 0.05, guard="none")
+
+    def test_tiny_s1_survives_with_guard(self):
+        sch = optimal_schedule(10_000, 200, 0.5, guard="monotonic_gaps")
+        assert np.all(np.diff(sch) > 0)
+
+    def test_higher_pack_cost_delays_first_pack(self):
+        """"If we make c large enough eventually we find that the
+        execution time is reduced by decreasing the number of packs"
+        (Section 4.3): a 4× pack cost moves the time-minimizing S1 out
+        and reduces the pack count."""
+        import dataclasses
+
+        n, m = 50_000, 500
+        costly = dataclasses.replace(
+            PAPER_C90_COSTS,
+            initial_pack_per_elem=28.0,
+            final_pack_per_elem=24.0,
+        )
+        s1_grid = np.geomspace(5, 300, 30)
+
+        def best(costs):
+            times = [
+                (
+                    phase13_time_from_schedule(
+                        n, m, optimal_schedule(n, m, s1, costs), costs
+                    ),
+                    s1,
+                    len(optimal_schedule(n, m, s1, costs)),
+                )
+                for s1 in s1_grid
+            ]
+            return min(times)
+
+        t_cheap, s1_cheap, packs_cheap = best(PAPER_C90_COSTS)
+        t_costly, s1_costly, packs_costly = best(costly)
+        assert s1_costly > s1_cheap
+        assert packs_costly <= packs_cheap
+        assert t_costly > t_cheap
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_schedule(1000, 0, 5.0)
+        with pytest.raises(ValueError):
+            optimal_schedule(1000, 10, -1.0)
+        with pytest.raises(ValueError, match="guard"):
+            optimal_schedule(1000, 10, 5.0, guard="bogus")
+
+
+class TestBaselineSchedules:
+    def test_uniform_spacing(self):
+        sch = uniform_schedule(1000, 10, 5)
+        assert np.allclose(np.diff(sch), sch[0])
+
+    def test_uniform_rejects_zero_packs(self):
+        with pytest.raises(ValueError):
+            uniform_schedule(1000, 10, 0)
+
+    def test_every_step_unit_gaps(self):
+        sch = every_step_schedule(1000, 100)
+        assert np.allclose(np.diff(sch), 1.0)
+
+
+class TestIntegerGaps:
+    def test_positive_and_sum(self):
+        gaps = integer_gaps([2.4, 5.7, 11.0])
+        assert np.all(gaps >= 1)
+        assert gaps.sum() == 11
+
+    def test_deduplicates_rounded_points(self):
+        gaps = integer_gaps([1.1, 1.4, 3.0])
+        assert gaps.sum() == 3
+        assert np.all(gaps >= 1)
+
+    def test_never_empty(self):
+        assert integer_gaps([0.2]).size == 1
+
+
+class TestScheduleIterator:
+    def test_yields_schedule_gaps_first(self):
+        it = ScheduleIterator([3.0, 7.0, 15.0])
+        assert [next(it) for _ in range(3)] == [3, 4, 8]
+
+    def test_extends_with_growth(self):
+        it = ScheduleIterator([4.0], tail_growth=2.0)
+        first = next(it)
+        ext = [next(it) for _ in range(3)]
+        assert first == 4
+        assert ext == [8, 16, 32]
+
+    def test_growth_floor_one(self):
+        it = ScheduleIterator([1.0], tail_growth=1.0)
+        assert [next(it) for _ in range(5)] == [1, 1, 1, 1, 1]
+
+    def test_rejects_shrinking_growth(self):
+        with pytest.raises(ValueError):
+            ScheduleIterator([3.0], tail_growth=0.5)
+
+
+class TestNumericOptimizer:
+    def test_interior_points_satisfy_slope_condition(self):
+        n, m = 10_000, 200
+        num = numeric_optimal_schedule(n, m, 8)
+        res = slope_condition_residuals(num, n, m)
+        # all but the pinned last point should be near-stationary
+        assert np.max(np.abs(res[:-1])) < 0.05
+
+    def test_rejects_zero_packs(self):
+        with pytest.raises(ValueError):
+            numeric_optimal_schedule(1000, 10, 0)

@@ -1,0 +1,70 @@
+"""Tests for the ScanStats instrumentation."""
+
+import pytest
+
+from repro.core.stats import ScanStats
+
+
+class TestCounters:
+    def test_add_work(self):
+        s = ScanStats()
+        s.add_work(10)
+        s.add_work(5, phase="p1")
+        assert s.element_ops == 15
+        assert s.phases == {"p1": 5}
+
+    def test_gathers_scatters(self):
+        s = ScanStats()
+        s.add_gather(4)
+        s.add_scatter(6)
+        assert s.gathers == 4 and s.scatters == 6
+
+    def test_rounds_and_packs(self):
+        s = ScanStats()
+        s.add_round(3)
+        s.add_pack()
+        assert s.rounds == 3 and s.packs == 1
+
+
+class TestSpaceTracking:
+    def test_peak_tracks_high_water(self):
+        s = ScanStats()
+        s.alloc(100)
+        s.alloc(50)
+        s.free(120)
+        s.alloc(10)
+        assert s.peak_aux_words == 150
+
+    def test_peak_not_reduced_by_free(self):
+        s = ScanStats()
+        s.alloc(100)
+        s.free(100)
+        assert s.peak_aux_words == 100
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a, b = ScanStats(), ScanStats()
+        a.add_work(10, "x")
+        b.add_work(20, "x")
+        b.add_work(5, "y")
+        b.add_round()
+        a.merge(b)
+        assert a.element_ops == 35
+        assert a.phases == {"x": 30, "y": 5}
+        assert a.rounds == 1
+
+    def test_peak_accounts_for_live_context(self):
+        a = ScanStats()
+        a.alloc(100)  # live when the sub-invocation runs
+        b = ScanStats()
+        b.alloc(70)
+        b.free(70)
+        a.merge(b)
+        assert a.peak_aux_words == 170
+
+    def test_work_per_element(self):
+        s = ScanStats()
+        s.add_work(500)
+        assert s.work_per_element(100) == pytest.approx(5.0)
+        assert ScanStats().work_per_element(0) == 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for parallel tree contraction (expression evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tree_contraction import (
+    OP_ADD,
+    OP_MUL,
+    ExpressionTree,
+    evaluate_expression_tree,
+    random_expression_tree,
+)
+from repro.lists.generate import INDEX_DTYPE
+
+
+def manual_tree(parent, ops, values, root=0):
+    return ExpressionTree(
+        np.asarray(parent, dtype=INDEX_DTYPE),
+        np.asarray(ops, dtype=np.int8),
+        np.asarray(values, dtype=np.float64),
+        root=root,
+    )
+
+
+class TestExpressionTree:
+    def test_single_leaf(self):
+        t = manual_tree([0], [OP_ADD], [42.0])
+        assert t.evaluate_serial() == 42.0
+        assert evaluate_expression_tree(t) == 42.0
+
+    def test_one_add(self):
+        # root 0 with children 1, 2
+        t = manual_tree([0, 0, 0], [OP_ADD, 0, 0], [0, 3.0, 4.0])
+        assert t.evaluate_serial() == 7.0
+        assert evaluate_expression_tree(t) == pytest.approx(7.0)
+
+    def test_one_mul(self):
+        t = manual_tree([0, 0, 0], [OP_MUL, 0, 0], [0, 3.0, 4.0])
+        assert evaluate_expression_tree(t) == pytest.approx(12.0)
+
+    def test_nested(self):
+        # (2 + 3) * (4 + 5) = 45
+        parent = [0, 0, 0, 1, 1, 2, 2]
+        ops = [OP_MUL, OP_ADD, OP_ADD, 0, 0, 0, 0]
+        values = [0, 0, 0, 2.0, 3.0, 4.0, 5.0]
+        t = manual_tree(parent, ops, values)
+        assert t.evaluate_serial() == 45.0
+        assert evaluate_expression_tree(t) == pytest.approx(45.0)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="two children"):
+            manual_tree([0, 0], [OP_ADD, 0], [0, 1.0])
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ValueError, match="root"):
+            manual_tree([1, 1, 0], [0, 0, 0], [0, 0, 0], root=0)
+
+
+class TestRandomTrees:
+    @pytest.mark.parametrize("n_leaves", [1, 2, 3, 5, 16, 64, 257])
+    def test_matches_serial(self, n_leaves, rng):
+        t = random_expression_tree(n_leaves, rng, value_low=0.5, value_high=1.5)
+        ref = t.evaluate_serial()
+        got = evaluate_expression_tree(t, algorithm="serial")
+        assert got == pytest.approx(ref, rel=1e-9)
+
+    def test_many_seeds(self):
+        for seed in range(25):
+            t = random_expression_tree(30, seed, value_low=0.5, value_high=1.5)
+            assert evaluate_expression_tree(t, algorithm="serial") == pytest.approx(
+                t.evaluate_serial(), rel=1e-9
+            )
+
+    def test_large_tree_with_sublist_ranking(self, rng):
+        t = random_expression_tree(2000, rng, value_low=0.8, value_high=1.2)
+        got = evaluate_expression_tree(t, algorithm="sublist", rng=rng)
+        assert got == pytest.approx(t.evaluate_serial(), rel=1e-7)
+
+    def test_add_only_exact(self, rng):
+        """Pure addition trees evaluate exactly: the root value equals
+        the sum of the leaves."""
+        t = random_expression_tree(100, rng)
+        t.ops[:] = OP_ADD
+        expect = t.leaf_values[t.is_leaf].sum()
+        assert evaluate_expression_tree(t) == pytest.approx(expect, rel=1e-12)
+
+    def test_deep_left_chain(self, rng):
+        """A maximally unbalanced tree (contraction's worst case for
+        naive leaf-raking orders)."""
+        n_leaves = 64
+        total = 2 * n_leaves - 1
+        parent = np.zeros(total, dtype=np.int64)
+        # internal nodes 0..n_leaves-2 chain to the left; leaves fill in
+        leaf_id = n_leaves - 1
+        for internal in range(n_leaves - 1):
+            left_child = internal + 1 if internal < n_leaves - 2 else leaf_id
+            if internal < n_leaves - 2:
+                parent[internal + 1] = internal
+            else:
+                parent[leaf_id] = internal
+                leaf_id += 1
+            parent[leaf_id] = internal
+            leaf_id += 1
+        ops = np.full(total, OP_ADD, dtype=np.int8)
+        values = np.ones(total, dtype=np.float64)
+        t = ExpressionTree(parent, ops, values)
+        assert evaluate_expression_tree(t) == pytest.approx(float(n_leaves))
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            random_expression_tree(0)

@@ -1,0 +1,109 @@
+"""Unit tests for parameter tuning (paper Section 4.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost_model import PAPER_C90_COSTS, total_time
+from repro.core.schedule import optimal_schedule
+from repro.core.tuning import (
+    PolylogFit,
+    default_parameters,
+    fit_polylog,
+    tune_grid,
+    tuned_parameters,
+)
+
+
+class TestTuneGrid:
+    def test_returns_valid_parameters(self):
+        m, s1, t = tune_grid(100_000)
+        assert 2 <= m < 100_000
+        assert s1 > 0
+        assert t > 0
+
+    def test_beats_naive_choices(self):
+        """The tuned point beats obviously bad (m, s1) settings."""
+        n = 100_000
+        m, s1, t_best = tune_grid(n)
+        for m_bad, s1_bad in [(4, 1.0), (n // 4, 1.0), (64, 2000.0)]:
+            sch = optimal_schedule(n, m_bad, s1_bad)
+            t_bad = total_time(n, m_bad, sch)
+            assert t_best <= t_bad * 1.001
+
+    def test_m_grows_with_n(self):
+        m_small, _, _ = tune_grid(10_000)
+        m_large, _, _ = tune_grid(10_000_000)
+        assert m_large > m_small
+
+    def test_m_within_paper_bound(self):
+        """Table 1: m ≤ n / log n."""
+        for n in (10_000, 1_000_000):
+            m, _, _ = tune_grid(n)
+            assert m <= n / math.log2(n) * 1.5
+
+
+class TestTunedParameters:
+    def test_cached_and_stable(self):
+        a = tuned_parameters(100_000)
+        b = tuned_parameters(100_000)
+        assert a == b
+
+    def test_bucketing_near_sizes(self):
+        """Nearby sizes share a bucket (cache friendliness)."""
+        a = tuned_parameters(100_000)
+        b = tuned_parameters(101_000)
+        assert a[0] == b[0]
+
+    def test_tiny_n(self):
+        m, s1 = tuned_parameters(3)
+        assert m == 2 and s1 > 0
+
+    def test_m_clamped_to_half_n(self):
+        m, _ = tuned_parameters(16)
+        assert m <= 8
+
+    def test_default_parameters_alias(self):
+        assert default_parameters(50_000) == tuned_parameters(50_000)
+
+
+class TestPolylogFit:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        ns = [2**k for k in range(10, 22, 2)]
+        return fit_polylog(ns)
+
+    def test_fit_reproduces_tuned_m(self, fit):
+        """The cubic-in-log fit tracks the grid-tuned m within 2× over
+        the fitted range (the paper accepts ~2% time error, which is
+        far looser in m)."""
+        for n in (2**12, 2**16, 2**20):
+            m_fit = fit.m(n)
+            m_grid, _, _ = tune_grid(n)
+            assert 0.4 < m_fit / m_grid < 2.5, f"n={n}"
+
+    def test_fit_time_near_optimal(self, fit):
+        """Running with fitted parameters costs within 10% of the
+        grid-tuned model time (the paper's 'performed very well in
+        practice')."""
+        for n in (2**13, 2**17, 2**21):
+            m_f, s1_f = fit.m(n), fit.s1(n)
+            sch = optimal_schedule(n, m_f, s1_f)
+            t_fit = total_time(n, m_f, sch)
+            _, _, t_best = tune_grid(n)
+            assert t_fit <= t_best * 1.10, f"n={n}"
+
+    def test_fit_clips(self, fit):
+        assert fit.m(8) >= 2
+        assert fit.s1(8) >= 1.0
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_polylog([1024, 2048])
+
+    def test_manual_coefficients(self):
+        f = PolylogFit(m_coeffs=(0, 0, 1, 0), s1_coeffs=(0, 0, 0, 1))
+        # m = exp(ln n) = n, clipped to n/2
+        assert f.m(100) == 50
+        assert f.s1(100) == pytest.approx(math.e)

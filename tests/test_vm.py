@@ -1,0 +1,166 @@
+"""Unit tests for the simulated vector processor (VectorVM)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import CRAY_C90, DECSTATION_5000
+from repro.machine.vm import VectorVM
+
+
+@pytest.fixture
+def vm():
+    return VectorVM(CRAY_C90, bank_conflicts=False)
+
+
+class TestLedger:
+    def test_starts_empty(self, vm):
+        assert vm.cycles == 0.0
+
+    def test_reset(self, vm):
+        vm.load(np.zeros(10))
+        assert vm.cycles > 0
+        vm.reset()
+        assert vm.cycles == 0.0
+
+    def test_cycles_additive(self, vm):
+        vm.load(np.zeros(10))
+        a = vm.cycles
+        vm.load(np.zeros(10))
+        assert vm.cycles == pytest.approx(2 * a)
+
+    def test_time_ns(self, vm):
+        vm.charge_cycles(100.0)
+        assert vm.time_ns == pytest.approx(100 * CRAY_C90.clock_ns)
+
+    def test_regions_categorize(self, vm):
+        with vm.region("alpha"):
+            vm.load(np.zeros(10))
+        with vm.region("beta"):
+            vm.load(np.zeros(20))
+        assert set(vm.ledger.by_category) == {"alpha", "beta"}
+        assert vm.ledger.by_category["beta"] > vm.ledger.by_category["alpha"]
+
+    def test_regions_nest_and_restore(self, vm):
+        with vm.region("outer"):
+            with vm.region("inner"):
+                vm.load(np.zeros(5))
+            vm.load(np.zeros(5))
+        assert "outer" in vm.ledger.by_category
+        assert "inner" in vm.ledger.by_category
+
+    def test_op_counts(self, vm):
+        with vm.region("r"):
+            vm.load(np.zeros(4))
+            vm.load(np.zeros(4))
+        assert vm.ledger.op_counts["r"] == 2
+
+
+class TestOperationSemantics:
+    def test_gather_returns_values(self, vm):
+        arr = np.array([10, 20, 30])
+        idx = np.array([2, 0])
+        assert np.array_equal(vm.gather(arr, idx), [30, 10])
+
+    def test_scatter_writes(self, vm):
+        arr = np.zeros(4, dtype=np.int64)
+        vm.scatter(arr, np.array([1, 3]), np.array([7, 9]))
+        assert np.array_equal(arr, [0, 7, 0, 9])
+
+    def test_store_writes(self, vm):
+        dst = np.zeros(3)
+        vm.store(dst, np.ones(3))
+        assert np.all(dst == 1)
+
+    def test_ew_applies_function(self, vm):
+        out = vm.ew(np.add, np.array([1, 2]), np.array([3, 4]))
+        assert np.array_equal(out, [4, 6])
+
+    def test_compress_packs(self, vm):
+        mask = np.array([True, False, True])
+        a, b = vm.compress(mask, np.array([1, 2, 3]), np.array([4, 5, 6]))
+        assert np.array_equal(a, [1, 3])
+        assert np.array_equal(b, [4, 6])
+
+    def test_compress_single_array(self, vm):
+        out = vm.compress(np.array([False, True]), np.array([8, 9]))
+        assert np.array_equal(out, [9])
+
+    def test_iota(self, vm):
+        assert np.array_equal(vm.iota(4), [0, 1, 2, 3])
+
+
+class TestCostModel:
+    def test_gather_costs_more_than_load(self, vm):
+        arr = np.zeros(1000)
+        idx = np.arange(1000)
+        vm.gather(arr, idx)
+        g = vm.cycles
+        vm.reset()
+        vm.load(arr)
+        assert g > vm.cycles
+
+    def test_chained_waives_overheads(self, vm):
+        vm.load(np.zeros(128))
+        full = vm.cycles
+        vm.reset()
+        vm.load(np.zeros(128), chained=True)
+        chained = vm.cycles
+        assert chained == pytest.approx(128 * CRAY_C90.load_rate)
+        assert full == pytest.approx(
+            chained + CRAY_C90.strip_startup + CRAY_C90.call_const
+        )
+
+    def test_strip_mining(self, vm):
+        vm.load(np.zeros(128))
+        one_strip = vm.cycles
+        vm.reset()
+        vm.load(np.zeros(129))
+        two_strips = vm.cycles
+        assert two_strips - one_strip == pytest.approx(
+            CRAY_C90.load_rate + CRAY_C90.strip_startup
+        )
+
+    def test_scalar_traverse(self, vm):
+        vm.scalar_traverse(100)
+        assert vm.cycles == pytest.approx(
+            100 * CRAY_C90.scalar_chase + CRAY_C90.scalar_call_const
+        )
+
+    def test_sync_and_task_costs(self, vm):
+        vm.sync()
+        vm.task_start()
+        assert vm.ledger.by_category["sync"] == CRAY_C90.sync_cycles
+        assert vm.ledger.by_category["tasking"] == CRAY_C90.task_start_cycles
+
+
+class TestBankConflicts:
+    def test_hotspot_charged(self):
+        vm = VectorVM(CRAY_C90, bank_conflicts=True)
+        hot = np.zeros(512, dtype=np.int64)
+        vm.gather(np.zeros(1), hot)
+        with_conflicts = vm.cycles
+        vm2 = VectorVM(CRAY_C90, bank_conflicts=False)
+        vm2.gather(np.zeros(1), hot)
+        assert with_conflicts > vm2.cycles
+
+    def test_sampling_scales_charges(self, rng):
+        hot = np.zeros(256, dtype=np.int64)
+        vm_full = VectorVM(CRAY_C90, bank_conflicts=True, conflict_sample_every=1)
+        vm_samp = VectorVM(CRAY_C90, bank_conflicts=True, conflict_sample_every=4)
+        for _ in range(16):
+            vm_full.gather(np.zeros(1), hot)
+            vm_samp.gather(np.zeros(1), hot)
+        assert vm_samp.cycles == pytest.approx(vm_full.cycles, rel=0.05)
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ValueError):
+            VectorVM(CRAY_C90, conflict_sample_every=0)
+
+
+class TestScalarMachine:
+    def test_decstation_preset_usable(self):
+        vm = VectorVM(DECSTATION_5000)
+        vm.scalar_traverse(1000)
+        ns_per_elem = vm.time_ns / 1000
+        # the two-orders-of-magnitude anchor: ≈550 ns per element
+        assert 400 < ns_per_elem < 700
