@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 __all__ = [
     "ExperimentRecord",
     "record",
+    "record_speedup",
     "all_records",
     "clear_records",
     "format_table",
@@ -65,6 +66,37 @@ def record(
     )
     _REGISTRY.append(rec)
     return rec
+
+
+def record_speedup(
+    experiment: str,
+    claim: str,
+    baseline_seconds: float,
+    measured_seconds: float,
+    threshold: float = 1.0,
+    note: str = "",
+) -> ExperimentRecord:
+    """Register a baseline-vs-measured speedup claim.
+
+    The recorded value is ``baseline / measured`` (>1 means the
+    measured configuration is faster); ``ok`` iff the ratio meets
+    ``threshold``.  Used by the batched-engine benchmarks, whose claim
+    is an ordering ("batching ≥ 1× sequential"), not a paper constant.
+    """
+    ratio = (
+        baseline_seconds / measured_seconds
+        if measured_seconds > 0
+        else float("inf")
+    )
+    return record(
+        experiment,
+        claim,
+        paper=None,
+        measured=ratio,
+        unit="x",
+        ok=ratio >= threshold,
+        note=note,
+    )
 
 
 def all_records() -> List[ExperimentRecord]:

@@ -5,6 +5,8 @@ Subcommands
 
 ``rank``      rank a generated list with a chosen algorithm, report timing
 ``scan``      scan a generated list under an operator
+``batch``     run many lists through the batched execution engine and
+              report per-size-class throughput vs. sequential calls
 ``simulate``  run an algorithm on the simulated Cray C-90 / Y-MP and
               print the cycle breakdown
 ``tune``      show the model-tuned parameters and pack schedule for a size
@@ -73,6 +75,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scan.add_argument("--inclusive", action="store_true")
 
+    p_batch = sub.add_parser(
+        "batch", help="run many lists through the batched engine"
+    )
+    common(p_batch)
+    p_batch.add_argument(
+        "--count", type=int, default=64, help="number of lists in the batch"
+    )
+    p_batch.add_argument(
+        "--min-n", type=int, default=64,
+        help="smallest list length (sizes are log-uniform in [min-n, n])",
+    )
+    p_batch.add_argument(
+        "--op", default="sum", help="operator name (sum, max, min, …)"
+    )
+    p_batch.add_argument("--inclusive", action="store_true")
+    p_batch.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width (>1 executes shards concurrently)",
+    )
+    p_batch.add_argument(
+        "--repeat", type=int, default=1,
+        help="resubmit the whole batch this many times (exercises the cache)",
+    )
+    p_batch.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+
     p_sim = sub.add_parser("simulate", help="run on the simulated machine")
     common(p_sim)
     p_sim.add_argument(
@@ -129,6 +158,86 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .bench.harness import format_table
+    from .engine import Engine, size_class
+    from .lists.generate import random_values
+
+    if args.min_n < 1 or args.min_n > args.n:
+        print("batch: --min-n must satisfy 1 <= min-n <= n", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    sizes = np.exp(
+        rng.uniform(np.log(args.min_n), np.log(args.n + 1), args.count)
+    ).astype(np.int64)
+    sizes = np.clip(sizes, args.min_n, args.n)
+    lists = [
+        _LAYOUTS[args.layout](int(sz), rng)
+        for sz in sizes
+    ]
+    for lst in lists:
+        lst.values = random_values(lst.n, rng)
+
+    # sequential baseline: one dispatch-API call per list
+    t0 = time.perf_counter()
+    seq = [
+        list_scan(lst, args.op, inclusive=args.inclusive, algorithm="auto", rng=rng)
+        for lst in lists
+    ]
+    t_seq = time.perf_counter() - t0
+
+    engine = Engine(
+        cache_capacity=0 if args.no_cache else max(256, 2 * args.count),
+        max_workers=args.workers,
+    )
+    t0 = time.perf_counter()
+    for _ in range(args.repeat):
+        results = engine.map_scan(
+            lists, args.op, inclusive=args.inclusive,
+            parallel=args.workers > 1,
+        )
+    t_eng = (time.perf_counter() - t0) / args.repeat
+
+    mismatches = sum(
+        not np.array_equal(a, b) for a, b in zip(results, seq)
+    )
+    total_nodes = int(sizes.sum())
+
+    by_class = {}
+    for lst in lists:
+        cls = size_class(lst.n)
+        cnt, nodes = by_class.get(cls, (0, 0))
+        by_class[cls] = (cnt + 1, nodes + lst.n)
+    rows = [
+        [f"<= 2^{cls}", cnt, nodes, 100.0 * nodes / total_nodes]
+        for cls, (cnt, nodes) in sorted(by_class.items())
+    ]
+    print(format_table(
+        ["size class", "lists", "nodes", "% of nodes"],
+        rows,
+        title=f"batch of {args.count} lists, {total_nodes:,} nodes total",
+    ))
+    speedup = t_seq / t_eng if t_eng > 0 else float("inf")
+    print()
+    print(format_table(
+        ["driver", "seconds", "Mnodes/s"],
+        [
+            ["sequential list_scan", t_seq, total_nodes / t_seq / 1e6],
+            [f"engine ({args.workers} worker(s))", t_eng,
+             total_nodes / t_eng / 1e6],
+        ],
+        title=f"throughput (speedup {speedup:.2f}x)",
+    ))
+    print()
+    print(format_table(["counter", "value"], engine.stats.as_rows(),
+                       title="engine stats"))
+    if mismatches:
+        print(f"ERROR: {mismatches} result(s) differ from sequential list_scan",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     lst, rng = _make_list(args)
     config = _MACHINES[args.machine]
@@ -177,6 +286,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "rank": _cmd_rank,
     "scan": _cmd_scan,
+    "batch": _cmd_batch,
     "simulate": _cmd_simulate,
     "tune": _cmd_tune,
     "figures": _cmd_figures,

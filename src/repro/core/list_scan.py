@@ -22,9 +22,18 @@ Algorithms
 ``"early_reconnect"``  the Section 6 variant: straggler suffixes are
                     compacted and rescanned at full vector width;
                     `core.early_reconnect`
-``"auto"``          serial below 4K nodes, sublist above — mirroring
-                    the crossover structure of the paper's Figure 1
+``"auto"``          cost-model routing: the Section 3/4 kernel
+                    equations predict each algorithm's time and the
+                    cheapest wins (`engine.router`).  When no
+                    calibration is available the historic fixed
+                    crossover applies — serial below 4K nodes, sublist
+                    above, mirroring the paper's Figure 1
 ==================  ====================================================
+
+Batched execution: pass ``engine=`` (a :class:`repro.engine.Engine`)
+to serve the call through the batched engine — structural result
+cache, cost-model routing and the engine's stats counters — instead of
+dispatching directly.
 """
 
 from __future__ import annotations
@@ -40,10 +49,29 @@ from .stats import ScanStats
 
 __all__ = ["list_scan", "list_rank", "ALGORITHMS"]
 
-#: Crossover below which "auto" uses the serial traversal.  The paper's
-#: crossovers on the C-90 (serial fastest on short lists, the sublist
-#: algorithm on long ones) have the same structure.
+#: Fallback crossover below which "auto" uses the serial traversal,
+#: applied only when cost-model routing is unavailable (no calibration,
+#: or the router cannot be constructed).  The paper's crossovers on the
+#: C-90 (serial fastest on short lists, the sublist algorithm on long
+#: ones) have the same structure.  The primary "auto" path routes via
+#: ``repro.engine.router``, which evaluates the Section 3/4 kernel cost
+#: equations instead of trusting this constant.
 _AUTO_SERIAL_BELOW = 4096
+
+
+def _auto_algorithm(n: int) -> str:
+    """Resolve ``algorithm="auto"`` for an ``n``-node list.
+
+    Routes through the cost-model router when available; falls back to
+    the fixed :data:`_AUTO_SERIAL_BELOW` crossover otherwise (e.g. if
+    the router subsystem cannot be imported in a stripped deployment).
+    """
+    try:
+        from ..engine.router import route_algorithm
+
+        return route_algorithm(n)
+    except Exception:
+        return "serial" if n < _AUTO_SERIAL_BELOW else "sublist"
 
 ALGORITHMS = (
     "sublist",
@@ -64,6 +92,7 @@ def list_scan(
     validate: bool = False,
     rng: Optional[Union[np.random.Generator, int]] = None,
     stats: Optional[ScanStats] = None,
+    engine=None,
     **kwargs,
 ) -> np.ndarray:
     """Scan a linked list under a binary associative operator.
@@ -87,6 +116,11 @@ def list_scan(
     stats:
         Optional :class:`~repro.core.stats.ScanStats` to fill with
         work/space accounting.
+    engine:
+        Optional :class:`repro.engine.Engine`; when given, the call is
+        served through the batched engine (result cache + cost-model
+        routing) rather than dispatched directly.  ``stats`` and
+        ``**kwargs`` are not forwarded on this path.
     **kwargs:
         Forwarded to the selected implementation (e.g. ``config=`` for
         the sublist algorithm, ``variant=`` for Wyllie).
@@ -99,8 +133,10 @@ def list_scan(
     op = get_operator(op)
     if validate:
         validate_list_strict(lst)
+    if engine is not None:
+        return engine.scan(lst, op, inclusive=inclusive, algorithm=algorithm)
     if algorithm == "auto":
-        algorithm = "serial" if lst.n < _AUTO_SERIAL_BELOW else "sublist"
+        algorithm = _auto_algorithm(lst.n)
 
     if algorithm == "sublist":
         from .sublist import sublist_list_scan

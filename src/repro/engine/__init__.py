@@ -1,0 +1,84 @@
+"""Batched list-ranking execution engine.
+
+The paper's central lesson is that list ranking pays off only when many
+independent traversals are kept at full vector width: the sublist
+algorithm wins precisely because it batches *m* sublist walks into one
+lock-step loop.  This subsystem applies the same discipline one level
+up — across *requests*.  Many independent ``rank``/``scan`` calls are
+coalesced into fused multi-list executions (a forest scan per size
+class), routed to an algorithm by the Section 4 cost model instead of a
+fixed crossover, and memoized in a structural result cache.
+
+Modules
+-------
+
+``queue``    request/response types and the bounded submission queue
+             (backpressure by request count and queued nodes)
+``batch``    size-class sharding and batch fusion into one forest
+``router``   cost-model algorithm routing (replaces the fixed
+             ``_AUTO_SERIAL_BELOW`` crossover)
+``cache``    LRU result cache keyed by a structural fingerprint
+``engine``   the :class:`Engine` facade: sync + thread-pool drivers,
+             per-batch stats
+
+The public surface re-exported here is loaded lazily (PEP 562) so that
+``core.list_scan`` can import ``engine.router`` for ``auto`` routing
+without creating an import cycle through :class:`Engine`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "ScanRequest",
+    "ScanResponse",
+    "SubmissionQueue",
+    "BackpressureError",
+    "Router",
+    "route_algorithm",
+    "ResultCache",
+    "fingerprint",
+    "FusedBatch",
+    "shard_requests",
+    "size_class",
+]
+
+_EXPORTS = {
+    "Engine": ("repro.engine.engine", "Engine"),
+    "EngineStats": ("repro.engine.engine", "EngineStats"),
+    "ScanRequest": ("repro.engine.queue", "ScanRequest"),
+    "ScanResponse": ("repro.engine.queue", "ScanResponse"),
+    "SubmissionQueue": ("repro.engine.queue", "SubmissionQueue"),
+    "BackpressureError": ("repro.engine.queue", "BackpressureError"),
+    "Router": ("repro.engine.router", "Router"),
+    "route_algorithm": ("repro.engine.router", "route_algorithm"),
+    "ResultCache": ("repro.engine.cache", "ResultCache"),
+    "fingerprint": ("repro.engine.cache", "fingerprint"),
+    "FusedBatch": ("repro.engine.batch", "FusedBatch"),
+    "shard_requests": ("repro.engine.batch", "shard_requests"),
+    "size_class": ("repro.engine.batch", "size_class"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .batch import FusedBatch, shard_requests, size_class
+    from .cache import ResultCache, fingerprint
+    from .engine import Engine, EngineStats
+    from .queue import BackpressureError, ScanRequest, ScanResponse, SubmissionQueue
+    from .router import Router, route_algorithm
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

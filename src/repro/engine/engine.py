@@ -1,0 +1,351 @@
+"""The :class:`Engine` facade: batched list-scan execution.
+
+Pipeline for one batch (``run_batch``)::
+
+    requests ──► cache probe ──► size-class shards ──► fuse ──► route ──► execute
+                    │ hits                                        (cost model)
+                    ▼                                                │
+                 responses ◄───────────── unfuse ◄───────────────────┘
+
+* Cache probes use the structural fingerprint (``engine.cache``); a
+  hit answers the request without executing anything.
+* Misses shard by (size class, operator, inclusive, dtype, forced
+  algorithm) — ``engine.batch`` — and each shard fuses into one forest.
+* The cost-model router (``engine.router``) picks serial / Wyllie /
+  sublist per fused batch; the forest kernels of ``core.forest``
+  execute all the shard's lists in one vectorized pass.
+* Results are unfused, cached, and returned in request order.
+
+Drivers: the sync driver executes shards one after another; the
+thread-pool driver (``parallel=True``) executes shards concurrently —
+shards share no arrays (fusion copies), so they are embarrassingly
+parallel and NumPy releases the GIL in the bulk operations.
+
+Requests with a forced algorithm outside the routable set (e.g.
+``random_mate``) cannot fuse — those run per list through the ordinary
+dispatch API, so the engine accepts *every* algorithm the library has.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.forest import forest_list_scan, serial_forest_scan, wyllie_forest_scan
+from ..core.list_scan import ALGORITHMS, list_scan
+from ..core.operators import Operator, SUM
+from ..lists.generate import LinkedList
+from .batch import DEFAULT_SIZE_CLASS_BASE, FusedBatch, shard_requests
+from .cache import ResultCache, fingerprint
+from .queue import ScanRequest, ScanResponse, SubmissionQueue
+from .router import CANDIDATES, Router
+
+__all__ = ["Engine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Per-engine counters (cumulative across batches)."""
+
+    requests: int = 0
+    batches: int = 0
+    shards: int = 0
+    fused_lists: int = 0  # lists that executed inside a fused forest
+    fused_nodes: int = 0
+    solo_runs: int = 0  # lists executed alone (unfusable or singleton)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds_executing: float = 0.0
+    algorithms: Dict[str, int] = field(default_factory=dict)
+
+    def count_algorithm(self, name: str, lists: int = 1) -> None:
+        self.algorithms[name] = self.algorithms.get(name, 0) + lists
+
+    def as_rows(self) -> List[List[object]]:
+        """Counter rows for ``bench.harness.format_table``."""
+        rows: List[List[object]] = [
+            ["requests", self.requests],
+            ["batches", self.batches],
+            ["shards", self.shards],
+            ["fused lists", self.fused_lists],
+            ["fused nodes", self.fused_nodes],
+            ["solo runs", self.solo_runs],
+            ["cache hits", self.cache_hits],
+            ["cache misses", self.cache_misses],
+            ["seconds executing", round(self.seconds_executing, 6)],
+        ]
+        for name in sorted(self.algorithms):
+            rows.append([f"algorithm[{name}]", self.algorithms[name]])
+        return rows
+
+
+class Engine:
+    """Batched list-ranking/scan execution engine.
+
+    Parameters
+    ----------
+    router:
+        Cost-model router; defaults to a calibrated
+        :class:`~repro.engine.router.Router` (paper C-90 table).
+    cache:
+        A :class:`~repro.engine.cache.ResultCache`, or ``None`` to
+        build one from ``cache_capacity``/``cache_max_bytes``
+        (``cache_capacity=0`` disables caching).
+    max_pending / max_pending_nodes:
+        Submission-queue backpressure bounds (see ``engine.queue``).
+    max_workers:
+        Thread-pool width for ``parallel=True`` drivers.
+    size_class_base:
+        Geometric growth factor between size classes.
+    seed:
+        Seed for the engine's random stream (splitter choices in the
+        forest kernels; results are identical for every seed).
+    """
+
+    def __init__(
+        self,
+        router: Optional[Router] = None,
+        cache: Optional[ResultCache] = None,
+        cache_capacity: int = 256,
+        cache_max_bytes: Optional[int] = None,
+        max_pending: Optional[int] = 1024,
+        max_pending_nodes: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        size_class_base: float = DEFAULT_SIZE_CLASS_BASE,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.router = router if router is not None else Router()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(cache_capacity, cache_max_bytes)
+        )
+        self.queue = SubmissionQueue(max_pending, max_pending_nodes)
+        self.max_workers = max_workers
+        self.size_class_base = size_class_base
+        self.stats = EngineStats()
+        self._seeds = np.random.SeedSequence(seed)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        lst: LinkedList,
+        op: Union[Operator, str] = SUM,
+        inclusive: bool = False,
+        algorithm: str = "auto",
+        tag: Optional[object] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Enqueue one scan request; returns its request id.
+
+        Blocks (or raises :class:`~repro.engine.queue.BackpressureError`)
+        when the submission queue is full.
+        """
+        if algorithm != "auto" and algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected 'auto' or one of "
+                f"{ALGORITHMS}"
+            )
+        request = ScanRequest(
+            lst=lst, op=op, inclusive=inclusive, algorithm=algorithm, tag=tag
+        )
+        return self.queue.submit(request, block=block, timeout=timeout)
+
+    def flush(self, parallel: bool = False) -> List[ScanResponse]:
+        """Drain the submission queue and execute everything as one batch."""
+        return self.run_batch(self.queue.drain(), parallel=parallel)
+
+    # ------------------------------------------------------------------
+    # drivers
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        requests: Sequence[ScanRequest],
+        parallel: bool = False,
+    ) -> List[ScanResponse]:
+        """Execute a batch of requests; responses come back in request
+        order.  ``parallel=True`` runs independent shards on a thread
+        pool (the sync driver otherwise)."""
+        requests = list(requests)
+        responses: Dict[int, ScanResponse] = {}
+        t0 = time.perf_counter()
+
+        misses: List[ScanRequest] = []
+        keys: Dict[int, bytes] = {}
+        for req in requests:
+            key = fingerprint(req.lst, req.op, req.inclusive)
+            keys[req.request_id] = key
+            hit = self.cache.get(key)
+            if hit is not None:
+                responses[req.request_id] = ScanResponse(
+                    request_id=req.request_id,
+                    result=hit,
+                    algorithm="cached",
+                    cached=True,
+                    n=req.n,
+                    tag=req.tag,
+                )
+            else:
+                misses.append(req)
+
+        shards = list(shard_requests(misses, self.size_class_base).values())
+        if parallel and len(shards) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                shard_results = list(pool.map(self._execute_shard, shards))
+        else:
+            shard_results = [self._execute_shard(shard) for shard in shards]
+
+        for shard, (algorithm, results) in zip(shards, shard_results):
+            for req, result in zip(shard, results):
+                self.cache.put(keys[req.request_id], result)
+                responses[req.request_id] = ScanResponse(
+                    request_id=req.request_id,
+                    result=result,
+                    algorithm=algorithm,
+                    cached=False,
+                    batch_lists=len(shard),
+                    n=req.n,
+                    tag=req.tag,
+                )
+
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self.stats.requests += len(requests)
+            self.stats.batches += 1
+            self.stats.shards += len(shards)
+            self.stats.cache_hits += len(requests) - len(misses)
+            self.stats.cache_misses += len(misses)
+            self.stats.seconds_executing += elapsed
+        return [responses[req.request_id] for req in requests]
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        lst: LinkedList,
+        op: Union[Operator, str] = SUM,
+        inclusive: bool = False,
+        algorithm: str = "auto",
+    ) -> np.ndarray:
+        """Single-request convenience: cache + routing, no queueing."""
+        [resp] = self.run_batch(
+            [ScanRequest(lst=lst, op=op, inclusive=inclusive, algorithm=algorithm)]
+        )
+        return resp.result
+
+    def rank(self, lst: LinkedList, algorithm: str = "auto") -> np.ndarray:
+        """Rank through the engine (all-ones values under ``+``)."""
+        ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
+        return self.scan(ones, SUM, inclusive=False, algorithm=algorithm)
+
+    def map_scan(
+        self,
+        lists: Sequence[LinkedList],
+        op: Union[Operator, str] = SUM,
+        inclusive: bool = False,
+        algorithm: str = "auto",
+        parallel: bool = False,
+    ) -> List[np.ndarray]:
+        """Scan many lists; returns results in input order."""
+        reqs = [
+            ScanRequest(lst=lst, op=op, inclusive=inclusive, algorithm=algorithm)
+            for lst in lists
+        ]
+        return [resp.result for resp in self.run_batch(reqs, parallel=parallel)]
+
+    # ------------------------------------------------------------------
+    # shard execution
+    # ------------------------------------------------------------------
+
+    def _child_rng(self) -> np.random.Generator:
+        with self._lock:
+            (child,) = self._seeds.spawn(1)
+        return np.random.default_rng(child)
+
+    def _execute_shard(self, shard: List[ScanRequest]):
+        """Run one fusable shard; returns ``(algorithm, per-request results)``."""
+        forced = shard[0].algorithm  # uniform within a shard (shard key)
+        rng = self._child_rng()
+
+        # unroutable forced algorithms have no forest kernel: run per list
+        if forced != "auto" and forced not in CANDIDATES:
+            results = [
+                list_scan(
+                    req.lst.copy(),
+                    req.op,
+                    inclusive=req.inclusive,
+                    algorithm=forced,
+                    rng=rng,
+                )
+                for req in shard
+            ]
+            with self._lock:
+                self.stats.solo_runs += len(shard)
+                self.stats.count_algorithm(forced, len(shard))
+            return forced, results
+
+        if len(shard) == 1:
+            req = shard[0]
+            algorithm = (
+                forced if forced != "auto" else self.router.choose(req.n, 1)
+            )
+            result = list_scan(
+                req.lst.copy(),
+                req.op,
+                inclusive=req.inclusive,
+                algorithm=algorithm,
+                rng=rng,
+            )
+            with self._lock:
+                self.stats.solo_runs += 1
+                self.stats.count_algorithm(algorithm)
+            return algorithm, [result]
+
+        batch = FusedBatch.fuse(shard)
+        algorithm = (
+            forced
+            if forced != "auto"
+            else self.router.choose(batch.n_nodes, batch.n_lists)
+        )
+        out = np.empty_like(batch.values)
+        if algorithm == "serial":
+            serial_forest_scan(
+                batch.nxt, batch.values, batch.heads, batch.op, None, out
+            )
+            if batch.inclusive:
+                out = batch.op.combine(out, batch.values)
+        elif algorithm == "wyllie":
+            wyllie_forest_scan(
+                batch.nxt, batch.values, batch.heads, batch.op, None, out
+            )
+            if batch.inclusive:
+                out = batch.op.combine(out, batch.values)
+        else:  # "sublist" and any future routable default
+            out = forest_list_scan(
+                batch.nxt,
+                batch.values,
+                batch.heads,
+                batch.op,
+                inclusive=batch.inclusive,
+                rng=rng,
+                out=out,
+            )
+        results = batch.unfuse(out)
+        with self._lock:
+            self.stats.fused_lists += batch.n_lists
+            self.stats.fused_nodes += batch.n_nodes
+            self.stats.count_algorithm(algorithm, batch.n_lists)
+        return algorithm, results

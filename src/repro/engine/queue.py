@@ -1,0 +1,189 @@
+"""Request/response types and the bounded submission queue.
+
+A :class:`ScanRequest` is one list-scan problem — a linked list, an
+operator, the inclusive/exclusive flag and an algorithm preference
+(``"auto"`` by default, which lets the cost-model router decide per
+fused batch).  Callers enqueue requests into a :class:`SubmissionQueue`
+and the engine drains them in FIFO order into fused executions.
+
+Backpressure
+------------
+
+The queue bounds both the number of pending requests and the total
+number of queued *nodes* (the quantity that actually costs memory and
+time).  ``submit`` blocks while the queue is full; with ``block=False``
+or an expired ``timeout`` it raises :class:`BackpressureError` so a
+serving layer can shed load instead of buffering without bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.operators import Operator, SUM, get_operator
+from ..lists.generate import LinkedList
+
+__all__ = [
+    "ScanRequest",
+    "ScanResponse",
+    "SubmissionQueue",
+    "BackpressureError",
+]
+
+_REQUEST_IDS = itertools.count(1)
+
+
+class BackpressureError(RuntimeError):
+    """The submission queue is full and the caller chose not to wait."""
+
+
+@dataclass
+class ScanRequest:
+    """One list-scan problem submitted to the engine.
+
+    Parameters
+    ----------
+    lst:
+        The linked list to scan.  The engine never mutates it (fused
+        executions work on concatenated copies).
+    op:
+        Operator instance or name; normalized to an :class:`Operator`.
+    inclusive:
+        Include each node's own value (default: exclusive prescan).
+    algorithm:
+        ``"auto"`` (default) defers the choice to the cost-model
+        router; any other :data:`~repro.core.list_scan.ALGORITHMS`
+        member forces that algorithm for this request.
+    tag:
+        Opaque caller correlation data, echoed on the response.
+    """
+
+    lst: LinkedList
+    op: Union[Operator, str] = SUM
+    inclusive: bool = False
+    algorithm: str = "auto"
+    tag: Optional[object] = None
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self) -> None:
+        self.op = get_operator(self.op)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the request's list."""
+        return self.lst.n
+
+
+@dataclass
+class ScanResponse:
+    """The engine's answer to one :class:`ScanRequest`.
+
+    ``algorithm`` is the algorithm that actually produced the result
+    (after routing); ``batch_lists`` is how many requests were fused
+    into the execution that served this one (1 for solo or cached).
+    """
+
+    request_id: int
+    result: np.ndarray
+    algorithm: str
+    cached: bool = False
+    batch_lists: int = 1
+    n: int = 0
+    tag: Optional[object] = None
+
+
+class SubmissionQueue:
+    """Bounded FIFO of pending :class:`ScanRequest` objects.
+
+    Parameters
+    ----------
+    max_requests:
+        Maximum number of queued requests (``None`` = unbounded).
+    max_nodes:
+        Maximum total ``lst.n`` across queued requests (``None`` =
+        unbounded).  A single over-sized request is still admitted when
+        the queue is empty, so no request is unserviceable.
+    """
+
+    def __init__(
+        self,
+        max_requests: Optional[int] = 1024,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        if max_requests is not None and max_requests < 1:
+            raise ValueError("max_requests must be >= 1 (or None)")
+        if max_nodes is not None and max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1 (or None)")
+        self.max_requests = max_requests
+        self.max_nodes = max_nodes
+        self._items: List[ScanRequest] = []
+        self._nodes = 0
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def pending_nodes(self) -> int:
+        """Total nodes across queued requests."""
+        with self._cond:
+            return self._nodes
+
+    def _has_room(self, request: ScanRequest) -> bool:
+        if not self._items:
+            return True  # never wedge on a single over-sized request
+        if self.max_requests is not None and len(self._items) >= self.max_requests:
+            return False
+        if self.max_nodes is not None and self._nodes + request.n > self.max_nodes:
+            return False
+        return True
+
+    def submit(
+        self,
+        request: ScanRequest,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Enqueue a request; returns its ``request_id``.
+
+        Raises :class:`BackpressureError` when the queue is full and
+        ``block`` is False (immediately) or ``timeout`` seconds elapse
+        without room appearing.
+        """
+        with self._cond:
+            if not self._has_room(request):
+                if not block:
+                    raise BackpressureError(
+                        f"queue full ({len(self._items)} requests, "
+                        f"{self._nodes} nodes pending)"
+                    )
+                if not self._cond.wait_for(
+                    lambda: self._has_room(request), timeout=timeout
+                ):
+                    raise BackpressureError(
+                        f"queue still full after {timeout}s "
+                        f"({len(self._items)} requests pending)"
+                    )
+            self._items.append(request)
+            self._nodes += request.n
+            self._cond.notify_all()
+            return request.request_id
+
+    def drain(self, max_requests: Optional[int] = None) -> List[ScanRequest]:
+        """Pop up to ``max_requests`` requests in FIFO order (all by
+        default) and wake any submitter blocked on backpressure."""
+        with self._cond:
+            k = len(self._items) if max_requests is None else min(
+                max_requests, len(self._items)
+            )
+            batch = self._items[:k]
+            del self._items[:k]
+            self._nodes -= sum(r.n for r in batch)
+            self._cond.notify_all()
+            return batch

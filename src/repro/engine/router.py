@@ -1,0 +1,161 @@
+"""Cost-model algorithm routing.
+
+The dispatch API's historic ``"auto"`` mode used a fixed crossover
+(``_AUTO_SERIAL_BELOW = 4096`` nodes: serial below, sublist above).
+The paper, however, gives us something much better — the Section 3/4
+kernel equations predict the running time of *every* algorithm as a
+function of the problem size, and Section 4.4 shows the predictions
+track measurements closely.  The :class:`Router` evaluates those
+predictions and picks the cheapest algorithm:
+
+* ``serial``  — ``T = 34·n + 255`` clocks (the measured traversal);
+* ``wyllie``  — ``⌈log₂(n/k)⌉`` rounds of ``9·n + 180`` clocks for a
+  forest of ``k`` chains (one chain for a single list);
+* ``sublist`` — the full Eq. 3 schedule-sum plus Phase-2 dispatch cost
+  at the model-tuned ``(m, S₁)`` (``analysis.predict.predict_run``).
+
+Predictions use a calibration (:class:`KernelCosts`) — the paper's
+published C-90 table by default, or any table derived by
+``machine.calibration`` for another machine.  A router constructed
+*without* a calibration (``costs=None``) falls back to the historic
+fixed crossover, so routing degrades gracefully rather than failing.
+
+Decisions are cached per √2-rounded size bucket (the same bucketing as
+``core.tuning``), so repeated routing is O(1) after the first call for
+each size region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
+from ..analysis.predict import predict_run
+
+__all__ = ["Router", "route_algorithm", "DEFAULT_SERIAL_BELOW", "default_router"]
+
+#: The historic fixed crossover, kept as the no-calibration fallback.
+DEFAULT_SERIAL_BELOW = 4096
+
+#: Algorithms the router chooses between.  All three have forest
+#: (multi-list) kernels, so a routed batch can always be executed fused.
+CANDIDATES = ("serial", "wyllie", "sublist")
+
+
+def _bucket(n: int) -> int:
+    """Round to the nearest power of √2 (mirrors ``core.tuning``)."""
+    if n < 4:
+        return n
+    return int(round(2 ** (round(2 * math.log2(n)) / 2)))
+
+
+class Router:
+    """Pick the cheapest algorithm for an ``n``-node problem.
+
+    Parameters
+    ----------
+    costs:
+        Kernel calibration driving the predictions.  ``None`` disables
+        model routing and falls back to the fixed crossover.
+    serial_below:
+        The fallback crossover used when ``costs`` is ``None``.
+    candidates:
+        Algorithm names to consider (subset of :data:`CANDIDATES`).
+    """
+
+    def __init__(
+        self,
+        costs: Optional[KernelCosts] = PAPER_C90_COSTS,
+        serial_below: int = DEFAULT_SERIAL_BELOW,
+        candidates: Tuple[str, ...] = CANDIDATES,
+    ) -> None:
+        unknown = set(candidates) - set(CANDIDATES)
+        if unknown:
+            raise ValueError(f"unroutable algorithms: {sorted(unknown)}")
+        if not candidates:
+            raise ValueError("router needs at least one candidate")
+        self.costs = costs
+        self.serial_below = serial_below
+        self.candidates = tuple(candidates)
+        self._choices: Dict[Tuple[int, int], str] = {}
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether model routing (vs. the fixed fallback) is active."""
+        return self.costs is not None
+
+    def predicted_clocks(self, n: int, algorithm: str, n_lists: int = 1) -> float:
+        """Model-predicted clocks for one algorithm on ``n`` total nodes
+        spread over ``n_lists`` independent lists."""
+        costs = self.costs
+        if costs is None:
+            raise ValueError("router has no calibration; predictions unavailable")
+        n = max(int(n), 1)
+        n_lists = max(int(n_lists), 1)
+        if algorithm == "serial":
+            # one traversal in total; per-chain startup once per list
+            return costs.serial_per_elem * n + costs.serial_const * n_lists
+        if algorithm == "wyllie":
+            # pointer jumping converges in log2 of the longest chain;
+            # with balanced sharding that is ≈ n / n_lists
+            longest = max(2.0, n / n_lists)
+            rounds = math.ceil(math.log2(longest))
+            return rounds * (costs.wyllie_round_per_elem * n + costs.wyllie_round_const)
+        if algorithm == "sublist":
+            return predict_run(n, costs).cycles
+        raise ValueError(
+            f"unknown routable algorithm {algorithm!r}; expected one of {CANDIDATES}"
+        )
+
+    def choose(self, n: int, n_lists: int = 1) -> str:
+        """The cheapest candidate for ``n`` nodes over ``n_lists`` lists."""
+        n = int(n)
+        n_lists = max(int(n_lists), 1)
+        if self.costs is None:
+            return "serial" if n < self.serial_below else "sublist"
+        if n <= 8:
+            return "serial" if "serial" in self.candidates else self.candidates[0]
+        key = (_bucket(n), _bucket(n_lists))
+        cached = self._choices.get(key)
+        if cached is not None:
+            return cached
+        best = min(
+            self.candidates,
+            key=lambda alg: self.predicted_clocks(key[0], alg, key[1]),
+        )
+        self._choices[key] = best
+        return best
+
+    def crossover(self, lo: int = 2, hi: int = 1 << 22) -> int:
+        """Smallest ``n`` (within [lo, hi], up to bucket resolution) at
+        which the router stops choosing ``serial`` — the model-derived
+        analogue of the old fixed constant."""
+        if self.choose(lo) != "serial":
+            return lo
+        if self.choose(hi) == "serial":
+            return hi
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.choose(mid) == "serial":
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+_DEFAULT_ROUTER: Optional[Router] = None
+
+
+def default_router() -> Router:
+    """The process-wide router (paper C-90 calibration), built lazily."""
+    global _DEFAULT_ROUTER
+    if _DEFAULT_ROUTER is None:
+        _DEFAULT_ROUTER = Router()
+    return _DEFAULT_ROUTER
+
+
+def route_algorithm(n: int, n_lists: int = 1, router: Optional[Router] = None) -> str:
+    """Route an ``n``-node problem through ``router`` (default: the
+    process-wide calibrated router)."""
+    return (router or default_router()).choose(n, n_lists)

@@ -25,6 +25,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--machine", "cray3"])
 
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.count == 64
+        assert args.min_n == 64
+        assert args.workers == 1
+        assert not args.no_cache
+
 
 class TestCommands:
     def test_rank(self, capsys):
@@ -43,6 +50,26 @@ class TestCommands:
         assert main(["scan", "-n", "1000", "--algorithm", "serial"]) == 0
         out = capsys.readouterr().out
         assert "scan at tail = 999" in out
+
+    def test_batch(self, capsys):
+        assert main(
+            ["batch", "--count", "24", "--min-n", "16", "-n", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch of 24 lists" in out
+        assert "throughput" in out
+        assert "engine stats" in out
+
+    def test_batch_repeat_hits_cache(self, capsys):
+        assert main(
+            ["batch", "--count", "8", "--min-n", "8", "-n", "200",
+             "--repeat", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache hits" in out
+
+    def test_batch_rejects_bad_min_n(self, capsys):
+        assert main(["batch", "--min-n", "0"]) == 2
 
     @pytest.mark.parametrize("algo", ["sublist", "wyllie", "serial"])
     def test_simulate(self, algo, capsys):

@@ -1,0 +1,139 @@
+"""Unit tests for size-class sharding and batch fusion."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import serial_list_scan
+from repro.core.operators import AFFINE, MAX, SUM
+from repro.engine.batch import FusedBatch, shard_requests, size_class
+from repro.engine.queue import ScanRequest
+from repro.lists.generate import random_list, random_values
+
+from .conftest import make_affine_values
+
+
+def make_request(n, seed=0, op=SUM, inclusive=False, algorithm="auto"):
+    rng = np.random.default_rng(seed)
+    lst = random_list(n, rng, values=random_values(n, rng))
+    return ScanRequest(lst=lst, op=op, inclusive=inclusive, algorithm=algorithm)
+
+
+class TestSizeClass:
+    def test_tiny(self):
+        assert size_class(0) == 0
+        assert size_class(1) == 0
+
+    def test_powers_of_two_boundaries(self):
+        # class k holds (2^(k-1), 2^k]
+        assert size_class(2) == 1
+        assert size_class(3) == 2
+        assert size_class(4) == 2
+        assert size_class(1024) == 10
+        assert size_class(1025) == 11
+
+    def test_monotonic(self):
+        classes = [size_class(n) for n in range(1, 2000)]
+        assert classes == sorted(classes)
+
+    def test_custom_base_bounds_skew(self):
+        # within one class of base b, max/min length ratio <= b
+        for n in (10, 100, 1000):
+            assert size_class(n, base=4.0) <= size_class(n, base=2.0)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            size_class(10, base=1.0)
+
+
+class TestSharding:
+    def test_groups_by_size_class(self):
+        reqs = [make_request(10), make_request(12), make_request(5000)]
+        shards = shard_requests(reqs)
+        assert len(shards) == 2
+        sizes = sorted(len(v) for v in shards.values())
+        assert sizes == [1, 2]
+
+    def test_separates_operators_and_flags(self):
+        reqs = [
+            make_request(100, op=SUM),
+            make_request(100, op=MAX),
+            make_request(100, op=SUM, inclusive=True),
+            make_request(100, op=SUM, algorithm="wyllie"),
+        ]
+        assert len(shard_requests(reqs)) == 4
+
+    def test_preserves_insertion_order(self):
+        reqs = [make_request(100, seed=i) for i in range(6)]
+        (shard,) = shard_requests(reqs).values()
+        assert [r.request_id for r in shard] == [r.request_id for r in reqs]
+
+
+class TestFusedBatch:
+    def test_structure(self):
+        reqs = [make_request(n, seed=n) for n in (50, 60, 70)]
+        batch = FusedBatch.fuse(reqs)
+        assert batch.n_nodes == 180
+        assert batch.n_lists == 3
+        assert list(batch.offsets) == [0, 50, 110, 180]
+        # each fused list keeps exactly one self-loop tail in its range
+        idx = np.arange(batch.n_nodes)
+        loops = np.flatnonzero(batch.nxt == idx)
+        assert loops.size == 3
+        for k in range(3):
+            lo, hi = batch.offsets[k], batch.offsets[k + 1]
+            assert lo <= batch.heads[k] < hi
+            assert ((loops >= lo) & (loops < hi)).sum() == 1
+
+    def test_does_not_alias_inputs(self):
+        reqs = [make_request(40, seed=1), make_request(40, seed=2)]
+        batch = FusedBatch.fuse(reqs)
+        batch.nxt[:] = 0
+        batch.values[:] = 0
+        for req in reqs:
+            assert req.lst.next.max() > 0
+            assert np.any(req.lst.values != 0)
+
+    def test_unfuse_roundtrip_matches_serial(self):
+        reqs = [make_request(n, seed=n) for n in (30, 45, 64, 7)]
+        batch = FusedBatch.fuse(reqs)
+        from repro.core.forest import serial_forest_scan
+
+        out = np.empty_like(batch.values)
+        serial_forest_scan(
+            batch.nxt, batch.values, batch.heads, batch.op, None, out
+        )
+        parts = batch.unfuse(out)
+        for req, part in zip(reqs, parts):
+            np.testing.assert_array_equal(part, serial_list_scan(req.lst, SUM))
+
+    def test_unfuse_returns_copies(self):
+        reqs = [make_request(20, seed=1), make_request(20, seed=2)]
+        batch = FusedBatch.fuse(reqs)
+        out = np.zeros_like(batch.values)
+        parts = batch.unfuse(out)
+        out[:] = 99
+        assert np.all(parts[0] == 0)
+
+    def test_affine_values_fuse(self):
+        rng = np.random.default_rng(5)
+        reqs = [
+            ScanRequest(
+                lst=random_list(n, rng, values=make_affine_values(rng, n)),
+                op=AFFINE,
+            )
+            for n in (16, 20)
+        ]
+        batch = FusedBatch.fuse(reqs)
+        assert batch.values.shape == (36, 2)
+
+    def test_rejects_mixed_shard(self):
+        with pytest.raises(ValueError):
+            FusedBatch.fuse([make_request(10, op=SUM), make_request(10, op=MAX)])
+        with pytest.raises(ValueError):
+            FusedBatch.fuse(
+                [make_request(10), make_request(10, inclusive=True)]
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FusedBatch.fuse([])

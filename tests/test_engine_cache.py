@@ -1,0 +1,129 @@
+"""Unit tests for the structural fingerprint and the LRU result cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import MAX, SUM
+from repro.engine.cache import ResultCache, fingerprint
+from repro.lists.generate import LinkedList, random_list, random_values
+
+
+def make_list(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return random_list(n, rng, values=random_values(n, rng))
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        lst = make_list()
+        assert fingerprint(lst, SUM) == fingerprint(lst.copy(), "sum")
+
+    def test_sensitive_to_operator(self):
+        lst = make_list()
+        assert fingerprint(lst, SUM) != fingerprint(lst, MAX)
+
+    def test_sensitive_to_inclusive_flag(self):
+        lst = make_list()
+        assert fingerprint(lst, SUM, False) != fingerprint(lst, SUM, True)
+
+    def test_sensitive_to_values(self):
+        lst = make_list()
+        other = lst.copy()
+        other.values = other.values + 1
+        assert fingerprint(lst, SUM) != fingerprint(other, SUM)
+
+    def test_sensitive_to_structure(self):
+        a = make_list(seed=1)
+        b = make_list(seed=2)
+        assert fingerprint(a, SUM) != fingerprint(b, SUM)
+
+    def test_sensitive_to_head(self):
+        # same arrays, different head: n=1 self-loop degenerate aside,
+        # build two lists sharing next/values but reporting different heads
+        lst = make_list(8, seed=3)
+        order_head = int(lst.head)
+        other_head = int(lst.next[order_head])
+        a = LinkedList(lst.next.copy(), order_head, lst.values.copy())
+        b = LinkedList(lst.next.copy(), other_head, lst.values.copy())
+        assert fingerprint(a, SUM) != fingerprint(b, SUM)
+
+    def test_sensitive_to_dtype(self):
+        lst = make_list()
+        other = lst.copy()
+        other.values = other.values.astype(np.int32)
+        assert fingerprint(lst, SUM) != fingerprint(other, SUM)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        key = b"k" * 16
+        assert cache.get(key) is None
+        cache.put(key, np.arange(5))
+        got = cache.get(key)
+        np.testing.assert_array_equal(got, np.arange(5))
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_returned_copy_is_isolated(self):
+        cache = ResultCache()
+        cache.put(b"a", np.arange(4))
+        got = cache.get(b"a")
+        got[:] = -1
+        np.testing.assert_array_equal(cache.get(b"a"), np.arange(4))
+
+    def test_stored_copy_is_isolated(self):
+        cache = ResultCache()
+        arr = np.arange(4)
+        cache.put(b"a", arr)
+        arr[:] = -1
+        np.testing.assert_array_equal(cache.get(b"a"), np.arange(4))
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(b"a", np.zeros(1))
+        cache.put(b"b", np.ones(1))
+        cache.get(b"a")  # refresh a; b becomes LRU
+        cache.put(b"c", np.full(1, 2.0))
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") is not None
+        assert cache.get(b"c") is not None
+        assert cache.evictions == 1
+
+    def test_byte_bound_evicts(self):
+        cache = ResultCache(capacity=100, max_bytes=8 * 10)
+        cache.put(b"a", np.zeros(6))
+        cache.put(b"b", np.zeros(6))
+        assert len(cache) == 1
+        assert cache.stored_bytes <= 80
+
+    def test_single_result_over_byte_bound_not_stored(self):
+        cache = ResultCache(capacity=10, max_bytes=8)
+        cache.put(b"a", np.zeros(100))
+        assert len(cache) == 0
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(b"a", np.zeros(3))
+        assert cache.get(b"a") is None
+        assert len(cache) == 0
+
+    def test_overwrite_updates_bytes(self):
+        cache = ResultCache(capacity=4)
+        cache.put(b"a", np.zeros(10))
+        cache.put(b"a", np.zeros(2))
+        assert len(cache) == 1
+        assert cache.stored_bytes == 2 * 8
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(b"a", np.zeros(3))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stored_bytes == 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=-1)

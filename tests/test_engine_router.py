@@ -1,0 +1,98 @@
+"""Unit tests for the cost-model router and the ``auto`` fallback."""
+
+import pytest
+
+from repro.analysis.cost_model import PAPER_C90_COSTS
+from repro.core.list_scan import _AUTO_SERIAL_BELOW, _auto_algorithm, list_scan
+from repro.engine.router import (
+    CANDIDATES,
+    DEFAULT_SERIAL_BELOW,
+    Router,
+    default_router,
+    route_algorithm,
+)
+from repro.lists.generate import random_list
+
+
+class TestRouterModel:
+    def test_small_lists_route_serial(self):
+        router = Router()
+        for n in (1, 8, 64, 512):
+            assert router.choose(n) == "serial"
+
+    def test_large_lists_route_sublist(self):
+        router = Router()
+        for n in (1 << 15, 1 << 20):
+            assert router.choose(n) == "sublist"
+
+    def test_crossover_is_finite_and_reasonable(self):
+        cross = Router().crossover()
+        # the model crossover lands in the same regime as the paper's
+        # Figure 1 structure (somewhere in the hundreds..ten-thousands)
+        assert 100 <= cross <= 20_000
+
+    def test_many_tiny_lists_prefer_vector_wyllie(self):
+        # fused pointer jumping over k short chains finishes in
+        # log2(n/k) rounds — the model should discover that it beats a
+        # per-chain serial walk
+        router = Router()
+        assert router.choose(256, n_lists=64) == "wyllie"
+
+    def test_predictions_match_kernel_equations(self):
+        router = Router()
+        assert router.predicted_clocks(1000, "serial") == pytest.approx(
+            PAPER_C90_COSTS.t_serial(1000)
+        )
+        assert router.predicted_clocks(1024, "wyllie") == pytest.approx(
+            PAPER_C90_COSTS.t_wyllie(1024)
+        )
+
+    def test_choice_minimizes_predicted_clocks(self):
+        router = Router()
+        for n in (100, 5000, 1 << 16):
+            best = router.choose(n)
+            t_best = router.predicted_clocks(n, best)
+            for alg in CANDIDATES:
+                assert t_best <= router.predicted_clocks(n, alg) * 1.0001
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            Router(candidates=("serial", "quantum"))
+        with pytest.raises(ValueError):
+            Router().predicted_clocks(100, "quantum")
+
+
+class TestFallback:
+    def test_uncalibrated_router_uses_fixed_crossover(self):
+        router = Router(costs=None)
+        assert not router.calibrated
+        assert router.choose(DEFAULT_SERIAL_BELOW - 1) == "serial"
+        assert router.choose(DEFAULT_SERIAL_BELOW) == "sublist"
+
+    def test_fallback_constant_matches_dispatch_api(self):
+        assert DEFAULT_SERIAL_BELOW == _AUTO_SERIAL_BELOW
+
+    def test_uncalibrated_predictions_unavailable(self):
+        with pytest.raises(ValueError):
+            Router(costs=None).predicted_clocks(100, "serial")
+
+
+class TestAutoWiring:
+    def test_route_algorithm_uses_default_router(self):
+        assert route_algorithm(64) == default_router().choose(64)
+
+    def test_auto_algorithm_returns_dispatchable_name(self):
+        for n in (2, 100, 4096, 1 << 18):
+            assert _auto_algorithm(n) in ("serial", "wyllie", "sublist")
+
+    def test_auto_extremes(self):
+        assert _auto_algorithm(16) == "serial"
+        assert _auto_algorithm(1 << 20) == "sublist"
+
+    def test_auto_dispatch_still_correct(self, rng):
+        from repro.baselines.serial import serial_list_scan
+
+        for n in (50, 3000, 10_000):
+            lst = random_list(n, rng)
+            got = list_scan(lst, algorithm="auto", rng=rng)
+            assert (got == serial_list_scan(lst)).all()
