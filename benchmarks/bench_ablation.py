@@ -19,7 +19,6 @@ import pytest
 from repro.bench.harness import print_table, record
 from repro.bench.workloads import get_random_list, get_valued_list
 from repro.core.operators import SUM
-from repro.core.schedule import integer_gaps, uniform_schedule
 from repro.core.sublist import SublistConfig, sublist_list_scan
 from repro.simulate.sublist_sim import SimSublistConfig, sublist_rank_sim
 

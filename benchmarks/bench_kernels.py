@@ -15,7 +15,7 @@ import pytest
 
 from repro.bench.harness import print_table, record
 from repro.bench.workloads import get_random_list
-from repro.machine.calibration import compare_with_paper, derive_rates
+from repro.machine.calibration import compare_with_paper
 from repro.machine.config import CRAY_C90
 from repro.simulate.sublist_sim import sublist_rank_sim
 

@@ -26,7 +26,7 @@ waste most of their time filling pipes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Optional
 
 import numpy as np

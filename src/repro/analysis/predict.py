@@ -17,7 +17,6 @@ measurements, reproducing the paper's predicted-vs-measured figure.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 

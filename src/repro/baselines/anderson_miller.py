@@ -79,7 +79,6 @@ def anderson_miller_list_scan(
         stats.alloc(5 * n)  # next/prev/value copies + queue cursors + flags
 
     # processor queues: processor j owns nodes [j·b, min((j+1)·b, n)).
-    n_procs = (n + block_size - 1) // block_size
     cursor = np.arange(0, n, block_size, dtype=INDEX_DTYPE)  # current node
     limit = np.minimum(cursor + block_size, n)
     # skip queue entries that can never be spliced (head / tail anchors)

@@ -10,8 +10,8 @@ prints a summary at the end via the ``conftest`` hook.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 __all__ = [
     "ExperimentRecord",

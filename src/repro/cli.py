@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    p_batch.add_argument(
+        "--stats", action="store_true",
+        help="print the engine health counters (errors, retries, "
+             "quarantined, coalesced, cache, routing) after the run",
+    )
+    p_batch.add_argument(
+        "--poison", type=int, default=0, metavar="K",
+        help="corrupt K of the generated lists (out-of-range successor) "
+             "to exercise the per-request error channel",
+    )
 
     p_sim = sub.add_parser("simulate", help="run on the simulated machine")
     common(p_sim)
@@ -160,11 +170,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .bench.harness import format_table
-    from .engine import Engine, size_class
+    from .engine import Engine, ScanRequest, size_class
     from .lists.generate import random_values
 
     if args.min_n < 1 or args.min_n > args.n:
         print("batch: --min-n must satisfy 1 <= min-n <= n", file=sys.stderr)
+        return 2
+    if args.poison < 0 or args.poison > args.count:
+        print("batch: --poison must satisfy 0 <= K <= count", file=sys.stderr)
         return 2
     rng = np.random.default_rng(args.seed)
     sizes = np.exp(
@@ -178,12 +191,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     for lst in lists:
         lst.values = random_values(lst.n, rng)
 
-    # sequential baseline: one dispatch-API call per list
+    poisoned = set()
+    if args.poison:
+        poisoned = {int(i) for i in rng.choice(args.count, args.poison, replace=False)}
+        for i in poisoned:
+            lists[i].next[lists[i].n // 2] = -1  # out-of-range successor
+
+    # sequential baseline: one dispatch-API call per healthy list
+    healthy = [i for i in range(args.count) if i not in poisoned]
     t0 = time.perf_counter()
-    seq = [
-        list_scan(lst, args.op, inclusive=args.inclusive, algorithm="auto", rng=rng)
-        for lst in lists
-    ]
+    seq = {
+        i: list_scan(
+            lists[i], args.op, inclusive=args.inclusive, algorithm="auto", rng=rng
+        )
+        for i in healthy
+    }
     t_seq = time.perf_counter() - t0
 
     engine = Engine(
@@ -192,14 +214,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     t0 = time.perf_counter()
     for _ in range(args.repeat):
-        results = engine.map_scan(
-            lists, args.op, inclusive=args.inclusive,
+        responses = engine.run_batch(
+            [
+                ScanRequest(
+                    lst=lst, op=args.op, inclusive=args.inclusive, tag=i
+                )
+                for i, lst in enumerate(lists)
+            ],
             parallel=args.workers > 1,
         )
     t_eng = (time.perf_counter() - t0) / args.repeat
 
+    failures = [resp for resp in responses if not resp.ok]
     mismatches = sum(
-        not np.array_equal(a, b) for a, b in zip(results, seq)
+        not (responses[i].ok and np.array_equal(responses[i].result, seq[i]))
+        for i in healthy
     )
     total_nodes = int(sizes.sum())
 
@@ -228,12 +257,34 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ],
         title=f"throughput (speedup {speedup:.2f}x)",
     ))
+    if failures:
+        print()
+        print(f"{len(failures)} request(s) failed (healthy requests "
+              "still returned results):")
+        for resp in failures:
+            err = resp.error
+            print(f"  list {resp.tag} ({resp.n:,} nodes): "
+                  f"{err.phase} [{err.code}] {err.message}")
     print()
     print(format_table(["counter", "value"], engine.stats.as_rows(),
                        title="engine stats"))
+    if args.stats:
+        st = engine.stats
+        print()
+        print(format_table(
+            ["counter", "value"],
+            [["errors", st.errors], ["retries", st.retries],
+             ["quarantined", st.quarantined], ["coalesced", st.coalesced]],
+            title="engine health counters",
+        ))
     if mismatches:
         print(f"ERROR: {mismatches} result(s) differ from sequential list_scan",
               file=sys.stderr)
+        return 1
+    if len(failures) != args.poison:
+        # every poisoned request must fail, every healthy one succeed
+        print(f"ERROR: expected {args.poison} failed request(s) per run, "
+              f"saw {len(failures)}", file=sys.stderr)
         return 1
     return 0
 

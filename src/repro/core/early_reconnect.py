@@ -43,7 +43,6 @@ from .operators import Operator, SUM, get_operator
 from .schedule import ScheduleIterator, optimal_schedule
 from .stats import ScanStats
 from .sublist import SublistConfig, choose_splitters, _resolve_parameters
-from .tuning import SERIAL_CUTOFF
 
 __all__ = ["early_reconnect_list_scan"]
 

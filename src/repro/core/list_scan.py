@@ -63,15 +63,16 @@ def _auto_algorithm(n: int) -> str:
     """Resolve ``algorithm="auto"`` for an ``n``-node list.
 
     Routes through the cost-model router when available; falls back to
-    the fixed :data:`_AUTO_SERIAL_BELOW` crossover otherwise (e.g. if
-    the router subsystem cannot be imported in a stripped deployment).
+    the fixed :data:`_AUTO_SERIAL_BELOW` crossover only when the router
+    subsystem cannot be *imported* (a stripped deployment).  A router
+    that imports but then raises is a genuine bug and propagates — the
+    fallback must not mask it.
     """
     try:
         from ..engine.router import route_algorithm
-
-        return route_algorithm(n)
-    except Exception:
+    except ImportError:
         return "serial" if n < _AUTO_SERIAL_BELOW else "sublist"
+    return route_algorithm(n)
 
 ALGORITHMS = (
     "sublist",
@@ -119,8 +120,11 @@ def list_scan(
     engine:
         Optional :class:`repro.engine.Engine`; when given, the call is
         served through the batched engine (result cache + cost-model
-        routing) rather than dispatched directly.  ``stats`` and
-        ``**kwargs`` are not forwarded on this path.
+        routing) rather than dispatched directly.  The engine manages
+        its own RNG stream and statistics and forwards nothing to the
+        kernels, so passing ``rng``, ``stats`` or implementation
+        ``**kwargs`` together with ``engine`` raises :class:`TypeError`
+        instead of silently dropping them.
     **kwargs:
         Forwarded to the selected implementation (e.g. ``config=`` for
         the sublist algorithm, ``variant=`` for Wyllie).
@@ -134,6 +138,18 @@ def list_scan(
     if validate:
         validate_list_strict(lst)
     if engine is not None:
+        dropped = [
+            name for name, value in (("rng", rng), ("stats", stats))
+            if value is not None
+        ]
+        dropped.extend(sorted(kwargs))
+        if dropped:
+            raise TypeError(
+                "list_scan(engine=...) serves the call through the batched "
+                "engine, which manages its own RNG stream and statistics and "
+                "forwards no implementation kwargs; incompatible "
+                f"argument(s): {', '.join(dropped)}"
+            )
         return engine.scan(lst, op, inclusive=inclusive, algorithm=algorithm)
     if algorithm == "auto":
         algorithm = _auto_algorithm(lst.n)

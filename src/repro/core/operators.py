@@ -82,6 +82,11 @@ class Operator:
         ``(n, 2)``).
     commutative:
         Informational flag consumed by tests and kernel assertions.
+    nan_hostile:
+        True for comparison-based operators (``min``/``max``) whose
+        results are poisoned by NaN values; the engine's probe-time
+        validation rejects NaN inputs for these instead of returning
+        garbage.
     """
 
     name: str
@@ -92,6 +97,7 @@ class Operator:
     remove: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
     value_width: int = 0
     commutative: bool = True
+    nan_hostile: bool = False
 
     def __post_init__(self) -> None:
         if self.invertible and self.remove is None:
@@ -183,9 +189,9 @@ SUM = Operator(
 
 PROD = Operator(name="prod", combine=np.multiply, identity=1, ufunc=np.multiply)
 
-MIN = Operator(name="min", combine=np.minimum, ufunc=np.minimum)
+MIN = Operator(name="min", combine=np.minimum, ufunc=np.minimum, nan_hostile=True)
 
-MAX = Operator(name="max", combine=np.maximum, ufunc=np.maximum)
+MAX = Operator(name="max", combine=np.maximum, ufunc=np.maximum, nan_hostile=True)
 
 XOR = Operator(
     name="xor",

@@ -14,6 +14,8 @@ Modules
 
 ``queue``    request/response types and the bounded submission queue
              (backpressure by request count and queued nodes)
+``errors``   the per-request error channel: structured failures,
+             probe-time validation, ``EngineRequestError``
 ``batch``    size-class sharding and batch fusion into one forest
 ``router``   cost-model algorithm routing (replaces the fixed
              ``_AUTO_SERIAL_BELOW`` crossover)
@@ -37,6 +39,9 @@ __all__ = [
     "ScanResponse",
     "SubmissionQueue",
     "BackpressureError",
+    "RequestError",
+    "EngineRequestError",
+    "validate_request",
     "Router",
     "route_algorithm",
     "ResultCache",
@@ -53,6 +58,9 @@ _EXPORTS = {
     "ScanResponse": ("repro.engine.queue", "ScanResponse"),
     "SubmissionQueue": ("repro.engine.queue", "SubmissionQueue"),
     "BackpressureError": ("repro.engine.queue", "BackpressureError"),
+    "RequestError": ("repro.engine.errors", "RequestError"),
+    "EngineRequestError": ("repro.engine.errors", "EngineRequestError"),
+    "validate_request": ("repro.engine.errors", "validate_request"),
     "Router": ("repro.engine.router", "Router"),
     "route_algorithm": ("repro.engine.router", "route_algorithm"),
     "ResultCache": ("repro.engine.cache", "ResultCache"),
@@ -66,6 +74,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .batch import FusedBatch, shard_requests, size_class
     from .cache import ResultCache, fingerprint
     from .engine import Engine, EngineStats
+    from .errors import EngineRequestError, RequestError, validate_request
     from .queue import BackpressureError, ScanRequest, ScanResponse, SubmissionQueue
     from .router import Router, route_algorithm
 

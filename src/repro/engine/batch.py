@@ -30,7 +30,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..core.operators import Operator
-from ..lists.generate import INDEX_DTYPE, LinkedList
+from ..lists.generate import INDEX_DTYPE
 from .queue import ScanRequest
 
 __all__ = ["size_class", "shard_key", "shard_requests", "FusedBatch"]
@@ -38,7 +38,7 @@ __all__ = ["size_class", "shard_key", "shard_requests", "FusedBatch"]
 #: Geometric growth factor between size classes.
 DEFAULT_SIZE_CLASS_BASE = 2.0
 
-ShardKey = Tuple[int, str, int, bool, str, str]
+ShardKey = Tuple[int, str, Tuple[int, ...], bool, str, str]
 
 
 def size_class(n: int, base: float = DEFAULT_SIZE_CLASS_BASE) -> int:
@@ -59,12 +59,19 @@ def size_class(n: int, base: float = DEFAULT_SIZE_CLASS_BASE) -> int:
 def shard_key(
     request: ScanRequest, base: float = DEFAULT_SIZE_CLASS_BASE
 ) -> ShardKey:
-    """Grouping key under which requests may fuse into one batch."""
+    """Grouping key under which requests may fuse into one batch.
+
+    The key uses the values' actual trailing shape rather than the
+    operator's advertised ``value_width``: if a custom operator's
+    metadata disagrees with the arrays it is handed, the requests must
+    not be concatenated into one forest (the fused assignment would
+    broadcast or raise mid-shard).
+    """
     op: Operator = request.op  # normalized by ScanRequest.__post_init__
     return (
         size_class(request.n, base),
         op.name,
-        op.value_width,
+        tuple(request.lst.values.shape[1:]),
         bool(request.inclusive),
         request.lst.values.dtype.str,
         request.algorithm,

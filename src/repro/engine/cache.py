@@ -44,8 +44,18 @@ def fingerprint(
     Two problems share a fingerprint iff they have identical successor
     arrays, heads, value arrays (bytes, dtype and shape), operator
     *name* and inclusive flag.
+
+    Object-dtype arrays are rejected: their ``tobytes()`` serializes
+    pointers, so two structurally equal problems would fingerprint
+    differently (and a mutated value would *keep* its stale digest) —
+    a silent cache-corruption hazard rather than a usable key.
     """
     op = get_operator(op)
+    if lst.next.dtype.hasobject or np.asarray(lst.values).dtype.hasobject:
+        raise TypeError(
+            "cannot fingerprint object-dtype arrays: their byte "
+            "serialization is identity-based, not structural"
+        )
     h = hashlib.blake2b(digest_size=16)
     h.update(b"repro-scan-v1|")
     h.update(op.name.encode())

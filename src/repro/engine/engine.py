@@ -2,24 +2,42 @@
 
 Pipeline for one batch (``run_batch``)::
 
-    requests ──► cache probe ──► size-class shards ──► fuse ──► route ──► execute
-                    │ hits                                        (cost model)
-                    ▼                                                │
-                 responses ◄───────────── unfuse ◄───────────────────┘
+    requests ──► fingerprint ──► cache probe ──► validate ──► coalesce
+                                    │ hits          │ bad        │ dups
+                                    ▼               ▼            ▼
+                                 responses      ok=False     fan-out of
+                                                responses    the primary
+                                                   │
+                 size-class shards ◄───────────────┘ (unique misses)
+                        │  fuse ──► route ──► execute (contained)
+                        ▼                        (cost model)
+                 responses ◄── unfuse / quarantine retry
 
 * Cache probes use the structural fingerprint (``engine.cache``); a
   hit answers the request without executing anything.
-* Misses shard by (size class, operator, inclusive, dtype, forced
-  algorithm) — ``engine.batch`` — and each shard fuses into one forest.
+* Misses are validated (``engine.errors``): malformed successor
+  arrays, shape/dtype mismatches and NaN-hostile inputs become
+  ``ok=False`` responses instead of exceptions out of the batch.
+* Identical fingerprints in one batch *coalesce*: the first request
+  executes, the duplicates receive copies of its result (or its
+  structured error).
+* Remaining unique misses shard by (size class, operator, inclusive,
+  dtype, forced algorithm) — ``engine.batch`` — and each shard fuses
+  into one forest.
 * The cost-model router (``engine.router``) picks serial / Wyllie /
   sublist per fused batch; the forest kernels of ``core.forest``
   execute all the shard's lists in one vectorized pass.
+* Shards execute under *containment*: a raising shard is retried once
+  with every member quarantined to solo execution, so one poisoned
+  request cannot shadow its shard-mates.  Requests that still fail
+  return structured errors; everything else gets its result.
 * Results are unfused, cached, and returned in request order.
 
 Drivers: the sync driver executes shards one after another; the
 thread-pool driver (``parallel=True``) executes shards concurrently —
 shards share no arrays (fusion copies), so they are embarrassingly
-parallel and NumPy releases the GIL in the bulk operations.
+parallel and NumPy releases the GIL in the bulk operations.  Both
+drivers honor the containment contract.
 
 Requests with a forced algorithm outside the routable set (e.g.
 ``random_mate``) cannot fuse — those run per list through the ordinary
@@ -32,7 +50,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,15 +60,43 @@ from ..core.operators import Operator, SUM
 from ..lists.generate import LinkedList
 from .batch import DEFAULT_SIZE_CLASS_BASE, FusedBatch, shard_requests
 from .cache import ResultCache, fingerprint
+from .errors import (
+    EngineRequestError,
+    RequestError,
+    VALIDATION_MODES,
+    validate_request,
+)
 from .queue import ScanRequest, ScanResponse, SubmissionQueue
 from .router import CANDIDATES, Router
 
 __all__ = ["Engine", "EngineStats"]
 
+#: A contained per-request outcome: ``(algorithm, batch_lists, result)``
+#: on success, a :class:`RequestError` on failure.
+_Outcome = Union[Tuple[str, int, np.ndarray], RequestError]
+
 
 @dataclass
 class EngineStats:
-    """Per-engine counters (cumulative across batches)."""
+    """Per-engine counters (cumulative across batches).
+
+    Health counters
+    ---------------
+
+    ``errors``
+        responses returned with ``ok=False`` (validation failures,
+        execution failures, and error fan-out to coalesced
+        duplicates).
+    ``retries``
+        fused shards whose execution raised and was retried once in
+        quarantine mode (every member solo).
+    ``quarantined``
+        requests whose execution failed even in isolation and were
+        answered with a structured error instead of a result.
+    ``coalesced``
+        duplicate requests in a batch served by another identical
+        request's execution (the work ran exactly once).
+    """
 
     requests: int = 0
     batches: int = 0
@@ -60,6 +106,10 @@ class EngineStats:
     solo_runs: int = 0  # lists executed alone (unfusable or singleton)
     cache_hits: int = 0
     cache_misses: int = 0
+    errors: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    coalesced: int = 0
     seconds_executing: float = 0.0
     algorithms: Dict[str, int] = field(default_factory=dict)
 
@@ -77,6 +127,10 @@ class EngineStats:
             ["solo runs", self.solo_runs],
             ["cache hits", self.cache_hits],
             ["cache misses", self.cache_misses],
+            ["errors", self.errors],
+            ["retries", self.retries],
+            ["quarantined", self.quarantined],
+            ["coalesced", self.coalesced],
             ["seconds executing", round(self.seconds_executing, 6)],
         ]
         for name in sorted(self.algorithms):
@@ -102,6 +156,12 @@ class Engine:
         Thread-pool width for ``parallel=True`` drivers.
     size_class_base:
         Geometric growth factor between size classes.
+    validate:
+        Probe-time validation mode: ``"fast"`` (default, vectorized
+        O(n) structure/shape/dtype checks), ``"strict"`` (adds the
+        pointer-doubling reachability certificate), or ``"off"``.
+        Validation failures become ``ok=False`` responses, never
+        exceptions out of ``run_batch``.
     seed:
         Seed for the engine's random stream (splitter choices in the
         forest kernels; results are identical for every seed).
@@ -117,8 +177,14 @@ class Engine:
         max_pending_nodes: Optional[int] = None,
         max_workers: Optional[int] = None,
         size_class_base: float = DEFAULT_SIZE_CLASS_BASE,
+        validate: str = "fast",
         seed: Optional[int] = 0,
     ) -> None:
+        if validate not in VALIDATION_MODES:
+            raise ValueError(
+                f"unknown validation mode {validate!r}; expected one of "
+                f"{VALIDATION_MODES}"
+            )
         self.router = router if router is not None else Router()
         self.cache = (
             cache
@@ -128,6 +194,7 @@ class Engine:
         self.queue = SubmissionQueue(max_pending, max_pending_nodes)
         self.max_workers = max_workers
         self.size_class_base = size_class_base
+        self.validate = validate
         self.stats = EngineStats()
         self._seeds = np.random.SeedSequence(seed)
         self._lock = threading.Lock()
@@ -149,7 +216,9 @@ class Engine:
         """Enqueue one scan request; returns its request id.
 
         Blocks (or raises :class:`~repro.engine.queue.BackpressureError`)
-        when the submission queue is full.
+        when the submission queue is full.  Structural problems with the
+        list are reported per request at batch time (``ok=False``
+        responses), not here — submission stays O(1).
         """
         if algorithm != "auto" and algorithm not in ALGORITHMS:
             raise ValueError(
@@ -176,56 +245,117 @@ class Engine:
     ) -> List[ScanResponse]:
         """Execute a batch of requests; responses come back in request
         order.  ``parallel=True`` runs independent shards on a thread
-        pool (the sync driver otherwise)."""
+        pool (the sync driver otherwise).
+
+        Never raises for a single bad request: validation and execution
+        failures come back as ``ok=False`` responses with a structured
+        :class:`~repro.engine.errors.RequestError` while every healthy
+        request still gets its result.
+        """
         requests = list(requests)
         responses: Dict[int, ScanResponse] = {}
         t0 = time.perf_counter()
+        n_errors = n_coalesced = n_hits = 0
 
         misses: List[ScanRequest] = []
         keys: Dict[int, bytes] = {}
+        primaries: Dict[bytes, int] = {}  # fingerprint -> primary request id
+        followers: Dict[int, List[ScanRequest]] = {}  # primary id -> duplicates
         for req in requests:
-            key = fingerprint(req.lst, req.op, req.inclusive)
-            keys[req.request_id] = key
-            hit = self.cache.get(key)
-            if hit is not None:
-                responses[req.request_id] = ScanResponse(
-                    request_id=req.request_id,
-                    result=hit,
-                    algorithm="cached",
-                    cached=True,
-                    n=req.n,
-                    tag=req.tag,
+            error: Optional[RequestError] = None
+            key: Optional[bytes] = None
+            try:
+                key = fingerprint(req.lst, req.op, req.inclusive)
+            except Exception as exc:
+                error = RequestError.from_exception(
+                    exc, code="fingerprint", phase="validate"
                 )
-            else:
+            if error is None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    # A hit implies a structurally identical problem was
+                    # validated and executed before; skip re-validation.
+                    n_hits += 1
+                    responses[req.request_id] = ScanResponse(
+                        request_id=req.request_id,
+                        result=hit,
+                        algorithm="cached",
+                        cached=True,
+                        n=req.n,
+                        tag=req.tag,
+                    )
+                    continue
+                error = validate_request(req, self.validate)
+            if error is not None:
+                n_errors += 1
+                responses[req.request_id] = self._failure(req, error)
+                continue
+            primary = primaries.get(key)
+            if primary is None:
+                primaries[key] = req.request_id
+                keys[req.request_id] = key
                 misses.append(req)
+            else:
+                followers.setdefault(primary, []).append(req)
+                n_coalesced += 1
 
         shards = list(shard_requests(misses, self.size_class_base).values())
         if parallel and len(shards) > 1:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                shard_results = list(pool.map(self._execute_shard, shards))
+                shard_results = list(pool.map(self._execute_shard_contained, shards))
         else:
-            shard_results = [self._execute_shard(shard) for shard in shards]
+            shard_results = [self._execute_shard_contained(shard) for shard in shards]
 
-        for shard, (algorithm, results) in zip(shards, shard_results):
-            for req, result in zip(shard, results):
-                self.cache.put(keys[req.request_id], result)
-                responses[req.request_id] = ScanResponse(
-                    request_id=req.request_id,
-                    result=result,
-                    algorithm=algorithm,
-                    cached=False,
-                    batch_lists=len(shard),
-                    n=req.n,
-                    tag=req.tag,
-                )
+        for shard, outcomes in zip(shards, shard_results):
+            for req, outcome in zip(shard, outcomes):
+                if isinstance(outcome, RequestError):
+                    n_errors += 1
+                    resp = self._failure(req, outcome)
+                else:
+                    algorithm, width, result = outcome
+                    self.cache.put(keys[req.request_id], result)
+                    resp = ScanResponse(
+                        request_id=req.request_id,
+                        result=result,
+                        algorithm=algorithm,
+                        cached=False,
+                        batch_lists=width,
+                        n=req.n,
+                        tag=req.tag,
+                    )
+                responses[req.request_id] = resp
+                for dup in followers.get(req.request_id, ()):
+                    if resp.ok:
+                        dup_resp = ScanResponse(
+                            request_id=dup.request_id,
+                            result=resp.result.copy(),
+                            algorithm=resp.algorithm,
+                            coalesced=True,
+                            batch_lists=resp.batch_lists,
+                            n=dup.n,
+                            tag=dup.tag,
+                        )
+                    else:
+                        n_errors += 1
+                        dup_resp = ScanResponse(
+                            request_id=dup.request_id,
+                            coalesced=True,
+                            n=dup.n,
+                            tag=dup.tag,
+                            ok=False,
+                            error=resp.error,
+                        )
+                    responses[dup.request_id] = dup_resp
 
         elapsed = time.perf_counter() - t0
         with self._lock:
             self.stats.requests += len(requests)
             self.stats.batches += 1
             self.stats.shards += len(shards)
-            self.stats.cache_hits += len(requests) - len(misses)
-            self.stats.cache_misses += len(misses)
+            self.stats.cache_hits += n_hits
+            self.stats.cache_misses += len(requests) - n_hits
+            self.stats.errors += n_errors
+            self.stats.coalesced += n_coalesced
             self.stats.seconds_executing += elapsed
         return [responses[req.request_id] for req in requests]
 
@@ -240,10 +370,16 @@ class Engine:
         inclusive: bool = False,
         algorithm: str = "auto",
     ) -> np.ndarray:
-        """Single-request convenience: cache + routing, no queueing."""
+        """Single-request convenience: cache + routing, no queueing.
+
+        Raises :class:`~repro.engine.errors.EngineRequestError` when
+        the request fails (there is no response to carry the error).
+        """
         [resp] = self.run_batch(
             [ScanRequest(lst=lst, op=op, inclusive=inclusive, algorithm=algorithm)]
         )
+        if not resp.ok:
+            raise EngineRequestError(resp.error, resp.request_id)
         return resp.result
 
     def rank(self, lst: LinkedList, algorithm: str = "auto") -> np.ndarray:
@@ -259,61 +395,111 @@ class Engine:
         algorithm: str = "auto",
         parallel: bool = False,
     ) -> List[np.ndarray]:
-        """Scan many lists; returns results in input order."""
+        """Scan many lists; returns results in input order.
+
+        Raises :class:`~repro.engine.errors.EngineRequestError` for the
+        first failed request; use :meth:`run_batch` to receive partial
+        results with per-request errors instead.
+        """
         reqs = [
             ScanRequest(lst=lst, op=op, inclusive=inclusive, algorithm=algorithm)
             for lst in lists
         ]
-        return [resp.result for resp in self.run_batch(reqs, parallel=parallel)]
+        responses = self.run_batch(reqs, parallel=parallel)
+        for resp in responses:
+            if not resp.ok:
+                raise EngineRequestError(resp.error, resp.request_id)
+        return [resp.result for resp in responses]
 
     # ------------------------------------------------------------------
     # shard execution
     # ------------------------------------------------------------------
+
+    def _failure(self, req: ScanRequest, error: RequestError) -> ScanResponse:
+        return ScanResponse(
+            request_id=req.request_id,
+            n=req.n,
+            tag=req.tag,
+            ok=False,
+            error=error,
+        )
 
     def _child_rng(self) -> np.random.Generator:
         with self._lock:
             (child,) = self._seeds.spawn(1)
         return np.random.default_rng(child)
 
+    def _solo_scan(self, req: ScanRequest) -> Tuple[str, np.ndarray]:
+        """Run one request alone through the dispatch API."""
+        algorithm = (
+            req.algorithm
+            if req.algorithm != "auto"
+            else self.router.choose(req.n, 1)
+        )
+        result = list_scan(
+            req.lst.copy(),
+            req.op,
+            inclusive=req.inclusive,
+            algorithm=algorithm,
+            rng=self._child_rng(),
+        )
+        with self._lock:
+            self.stats.solo_runs += 1
+            self.stats.count_algorithm(algorithm)
+        return algorithm, result
+
+    def _execute_shard_contained(self, shard: List[ScanRequest]) -> List[_Outcome]:
+        """Run one shard without ever raising.
+
+        Returns one outcome per request, aligned with the shard: a
+        ``(algorithm, batch_lists, result)`` tuple on success, a
+        :class:`RequestError` on failure.  A fused execution that
+        raises is retried once in quarantine mode — every member runs
+        solo — so a single poisoned request cannot take down its
+        shard-mates.
+        """
+        try:
+            algorithm, results = self._execute_shard(shard)
+            return [(algorithm, len(shard), result) for result in results]
+        except Exception as exc:
+            if len(shard) == 1:
+                # the fused attempt *was* the solo run; quarantine now
+                with self._lock:
+                    self.stats.quarantined += 1
+                return [
+                    RequestError.from_exception(exc, code="execution", phase="execute")
+                ]
+            with self._lock:
+                self.stats.retries += 1
+            outcomes: List[_Outcome] = []
+            for req in shard:
+                try:
+                    algorithm, result = self._solo_scan(req)
+                    outcomes.append((algorithm, 1, result))
+                except Exception as solo_exc:
+                    with self._lock:
+                        self.stats.quarantined += 1
+                    outcomes.append(
+                        RequestError.from_exception(
+                            solo_exc, code="execution", phase="execute"
+                        )
+                    )
+            return outcomes
+
     def _execute_shard(self, shard: List[ScanRequest]):
         """Run one fusable shard; returns ``(algorithm, per-request results)``."""
         forced = shard[0].algorithm  # uniform within a shard (shard key)
-        rng = self._child_rng()
 
         # unroutable forced algorithms have no forest kernel: run per list
         if forced != "auto" and forced not in CANDIDATES:
-            results = [
-                list_scan(
-                    req.lst.copy(),
-                    req.op,
-                    inclusive=req.inclusive,
-                    algorithm=forced,
-                    rng=rng,
-                )
-                for req in shard
-            ]
-            with self._lock:
-                self.stats.solo_runs += len(shard)
-                self.stats.count_algorithm(forced, len(shard))
+            results = [self._solo_scan(req)[1] for req in shard]
             return forced, results
 
         if len(shard) == 1:
-            req = shard[0]
-            algorithm = (
-                forced if forced != "auto" else self.router.choose(req.n, 1)
-            )
-            result = list_scan(
-                req.lst.copy(),
-                req.op,
-                inclusive=req.inclusive,
-                algorithm=algorithm,
-                rng=rng,
-            )
-            with self._lock:
-                self.stats.solo_runs += 1
-                self.stats.count_algorithm(algorithm)
+            algorithm, result = self._solo_scan(shard[0])
             return algorithm, [result]
 
+        rng = self._child_rng()
         batch = FusedBatch.fuse(shard)
         algorithm = (
             forced

@@ -21,12 +21,15 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from ..core.operators import Operator, SUM, get_operator
 from ..lists.generate import LinkedList
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a cycle)
+    from .errors import RequestError
 
 __all__ = [
     "ScanRequest",
@@ -86,15 +89,25 @@ class ScanResponse:
     ``algorithm`` is the algorithm that actually produced the result
     (after routing); ``batch_lists`` is how many requests were fused
     into the execution that served this one (1 for solo or cached).
+
+    Error channel: ``ok`` is True iff the request produced a result.
+    On failure ``result`` is ``None`` and ``error`` carries a
+    structured :class:`~repro.engine.errors.RequestError` — the batch
+    as a whole never raises for one bad request.  ``coalesced`` marks
+    a response served by another identical request's execution in the
+    same batch (intra-batch deduplication).
     """
 
     request_id: int
-    result: np.ndarray
-    algorithm: str
+    result: Optional[np.ndarray] = None
+    algorithm: str = ""
     cached: bool = False
+    coalesced: bool = False
     batch_lists: int = 1
     n: int = 0
     tag: Optional[object] = None
+    ok: bool = True
+    error: Optional["RequestError"] = None
 
 
 class SubmissionQueue:
@@ -106,8 +119,11 @@ class SubmissionQueue:
         Maximum number of queued requests (``None`` = unbounded).
     max_nodes:
         Maximum total ``lst.n`` across queued requests (``None`` =
-        unbounded).  A single over-sized request is still admitted when
-        the queue is empty, so no request is unserviceable.
+        unbounded).  A request with ``n > max_nodes`` can never satisfy
+        the bound, so it is exempted rather than wedged: it is admitted
+        when the queue is empty, or — for a blocking submit — as soon
+        as it reaches the front of the waiter line, so a steady stream
+        of small submitters cannot starve it forever.
     """
 
     def __init__(
@@ -124,6 +140,8 @@ class SubmissionQueue:
         self._items: List[ScanRequest] = []
         self._nodes = 0
         self._cond = threading.Condition()
+        self._waiters: List[int] = []  # tickets of blocked submitters, FIFO
+        self._tickets = itertools.count()
 
     def __len__(self) -> int:
         with self._cond:
@@ -135,12 +153,19 @@ class SubmissionQueue:
         with self._cond:
             return self._nodes
 
-    def _has_room(self, request: ScanRequest) -> bool:
+    def _has_room(self, request: ScanRequest, at_front: bool = False) -> bool:
         if not self._items:
             return True  # never wedge on a single over-sized request
         if self.max_requests is not None and len(self._items) >= self.max_requests:
             return False
         if self.max_nodes is not None and self._nodes + request.n > self.max_nodes:
+            # An over-sized request (n > max_nodes) can never satisfy
+            # the node bound.  Waiting for an empty queue would starve
+            # it behind a steady stream of small submitters, so a
+            # blocking submitter is admitted as soon as it is the
+            # frontmost waiter instead.
+            if request.n > self.max_nodes:
+                return at_front
             return False
         return True
 
@@ -163,9 +188,19 @@ class SubmissionQueue:
                         f"queue full ({len(self._items)} requests, "
                         f"{self._nodes} nodes pending)"
                     )
-                if not self._cond.wait_for(
-                    lambda: self._has_room(request), timeout=timeout
-                ):
+                ticket = next(self._tickets)
+                self._waiters.append(ticket)
+                try:
+                    admitted = self._cond.wait_for(
+                        lambda: self._has_room(
+                            request, at_front=self._waiters[0] == ticket
+                        ),
+                        timeout=timeout,
+                    )
+                finally:
+                    self._waiters.remove(ticket)
+                    self._cond.notify_all()  # let the next waiter re-check
+                if not admitted:
                     raise BackpressureError(
                         f"queue still full after {timeout}s "
                         f"({len(self._items)} requests pending)"

@@ -25,13 +25,11 @@ Multiprocessing follows the paper's Section 5 exactly:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
 
-from ..analysis.cost_model import KernelCosts
 from ..core.operators import Operator, SUM, get_operator
 from ..core.schedule import ScheduleIterator, optimal_schedule
 from ..core.sublist import choose_splitters

@@ -18,7 +18,7 @@ and drifts down between teeth as the per-round constants amortize.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -79,6 +79,63 @@ class TestListScanDispatch:
         assert stats.element_ops > 0
 
 
+class TestAutoRouting:
+    def test_router_errors_propagate(self, monkeypatch, rng):
+        # regression: a genuine router bug used to be silently masked
+        # by the fixed-crossover fallback (bare `except Exception`)
+        import repro.engine.router as router_mod
+
+        def boom(n):
+            raise RuntimeError("router bug")
+
+        monkeypatch.setattr(router_mod, "route_algorithm", boom)
+        lst = random_list(100, rng)
+        with pytest.raises(RuntimeError, match="router bug"):
+            list_scan(lst, algorithm="auto")
+
+    def test_import_error_falls_back_to_fixed_crossover(self, monkeypatch, rng):
+        import sys
+
+        # a stripped deployment without the router subsystem: setting
+        # the module entry to None makes `from ..engine.router import
+        # route_algorithm` raise ImportError
+        monkeypatch.setitem(sys.modules, "repro.engine.router", None)
+        lst = random_list(100, rng, values=rng.integers(-9, 9, 100))
+        assert np.array_equal(
+            list_scan(lst, algorithm="auto"), serial_list_scan(lst)
+        )
+
+
+class TestEngineArgumentCompatibility:
+    def test_engine_with_rng_raises(self, rng):
+        from repro.engine import Engine
+
+        lst = random_list(50, 0)
+        with pytest.raises(TypeError, match="rng"):
+            list_scan(lst, engine=Engine(), rng=rng)
+
+    def test_engine_with_stats_raises(self):
+        from repro.engine import Engine
+
+        lst = random_list(50, 0)
+        with pytest.raises(TypeError, match="stats"):
+            list_scan(lst, engine=Engine(), stats=ScanStats())
+
+    def test_engine_with_impl_kwargs_raises(self):
+        from repro.core.sublist import SublistConfig
+        from repro.engine import Engine
+
+        lst = random_list(50, 0)
+        with pytest.raises(TypeError, match="config"):
+            list_scan(lst, engine=Engine(), config=SublistConfig(m=8, s1=4.0))
+
+    def test_engine_with_validate_still_works(self, small_list):
+        from repro.engine import Engine
+
+        got = list_scan(small_list, engine=Engine(), validate=True)
+        assert np.array_equal(got, serial_list_scan(small_list))
+
+
 class TestListRank:
     @pytest.mark.parametrize(
         "algorithm",

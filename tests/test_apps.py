@@ -6,8 +6,8 @@ import pytest
 from repro.apps.load_balance import partition_list, partition_summary
 from repro.apps.reorder import list_to_array, scan_via_reorder
 from repro.baselines.serial import serial_list_scan
-from repro.core.operators import MAX, SUM
-from repro.lists.generate import LinkedList, from_order, random_list
+from repro.core.operators import MAX
+from repro.lists.generate import from_order, random_list
 
 
 class TestListToArray:

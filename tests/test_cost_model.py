@@ -1,6 +1,5 @@
 """Unit tests for the kernel cost model (paper Sections 3 and 4.2)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.cost_model import (

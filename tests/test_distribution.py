@@ -1,7 +1,5 @@
 """Unit tests for the sublist-length distribution analysis (Section 4.1)."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -8,7 +8,7 @@ from repro.core.early_reconnect import early_reconnect_list_scan
 from repro.core.operators import AFFINE, MAX
 from repro.core.stats import ScanStats
 from repro.core.sublist import SublistConfig
-from repro.lists.generate import LinkedList, from_order, ordered_list, random_list
+from repro.lists.generate import from_order, ordered_list, random_list
 from .conftest import make_affine_values
 
 SIZES = [1, 5, 50, 500, 5000, 50_000]

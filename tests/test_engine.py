@@ -94,7 +94,7 @@ class TestEquivalence:
 
     def test_inputs_never_mutated(self):
         lists = mixed_batch(count=16, max_n=800, seed=5)
-        snapshots = [(l.next.copy(), l.values.copy()) for l in lists]
+        snapshots = [(x.next.copy(), x.values.copy()) for x in lists]
         Engine().map_scan(lists, SUM)
         for lst, (nxt, vals) in zip(lists, snapshots):
             np.testing.assert_array_equal(lst.next, nxt)

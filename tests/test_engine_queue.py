@@ -106,6 +106,42 @@ class TestSubmissionQueue:
         assert done.is_set()
         assert len(q) == 1
 
+    def test_oversized_not_starved_by_small_stream(self):
+        # regression: an over-sized request used to be admitted only
+        # when the queue was fully empty, so a steady stream of small
+        # submitters could starve it forever.  It must be admitted as
+        # soon as it is the frontmost waiter.
+        q = SubmissionQueue(max_requests=None, max_nodes=100)
+        q.submit(make_request(n=60))  # queue is never empty
+        done = threading.Event()
+
+        def oversized_submit():
+            q.submit(make_request(n=500), timeout=5.0)
+            done.set()
+
+        t = threading.Thread(target=oversized_submit)
+        t.start()
+        t.join(timeout=5.0)
+        assert done.is_set(), "over-sized request starved behind pending work"
+        assert q.pending_nodes == 560
+        # and small traffic afterwards still sees normal backpressure
+        with pytest.raises(BackpressureError):
+            q.submit(make_request(n=30), block=False)
+
+    def test_oversized_nonblocking_still_respects_busy_queue(self):
+        q = SubmissionQueue(max_nodes=100)
+        q.submit(make_request(n=50))
+        with pytest.raises(BackpressureError):
+            q.submit(make_request(n=500), block=False)
+
+    def test_oversized_respects_request_count_bound(self):
+        q = SubmissionQueue(max_requests=1, max_nodes=100)
+        q.submit(make_request(n=10))
+        t0 = time.perf_counter()
+        with pytest.raises(BackpressureError):
+            q.submit(make_request(n=500), timeout=0.05)
+        assert time.perf_counter() - t0 >= 0.04
+
     def test_invalid_bounds_rejected(self):
         with pytest.raises(ValueError):
             SubmissionQueue(max_requests=0)

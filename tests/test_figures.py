@@ -3,7 +3,6 @@
 import csv
 
 import numpy as np
-import pytest
 
 from repro.bench.figures import (
     ALL_FIGURES,

@@ -1,7 +1,6 @@
 """Unit tests for the benchmark harness utilities."""
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import (
     ExperimentRecord,

@@ -14,11 +14,9 @@ from repro import (
     partition_list,
     random_list,
     random_parent_tree,
-    reorder_by_rank,
     scan_via_reorder,
     serial_list_scan,
     sublist_scan_sim,
-    tree_measures,
     validate_list_strict,
     wyllie_scan_sim,
 )

@@ -1,6 +1,5 @@
 """Unit tests for multiprocessor composition utilities."""
 
-import numpy as np
 import pytest
 
 from repro.machine.config import CRAY_C90

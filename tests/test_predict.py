@@ -1,6 +1,5 @@
 """Tests for the performance prediction model (Figure 14's machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.predict import (

@@ -19,7 +19,7 @@ from repro.core.operators import AFFINE, MAX, MIN, SUM, XOR
 from repro.core.schedule import integer_gaps, optimal_schedule
 from repro.core.sublist import SublistConfig, sublist_list_scan
 from repro.lists.convert import rank_to_order, reorder_by_rank
-from repro.lists.generate import LinkedList, from_order
+from repro.lists.generate import from_order
 from repro.lists.validate import validate_list_strict
 
 COMMON = dict(

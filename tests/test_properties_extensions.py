@@ -2,7 +2,6 @@
 early reconnect, mutation utilities)."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.random_mate import random_mate_list_rank, random_mate_list_scan
 from repro.baselines.serial import serial_list_rank, serial_list_scan
-from repro.core.operators import AFFINE, MAX, SUM
+from repro.core.operators import AFFINE, MAX
 from repro.core.stats import ScanStats
 from repro.lists.generate import from_order, ordered_list, random_list, reversed_list
 from .conftest import make_affine_values

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.apps.recurrence import recurrence_list, solve_linear_recurrence
-from repro.lists.generate import LinkedList
 
 
 def serial_solve(a, b, x0):

@@ -9,7 +9,7 @@ from repro.core.segmented import (
     segmented_list_scan,
     segmented_operator,
 )
-from repro.lists.generate import from_order, list_order, ordered_list, random_list
+from repro.lists.generate import list_order, ordered_list, random_list
 
 
 def reference_segmented(lst, heads, op, inclusive=False):

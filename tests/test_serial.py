@@ -1,7 +1,6 @@
 """Unit tests for the serial reference algorithm."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.serial import (
     serial_list_rank,

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.baselines.serial import serial_list_scan
-from repro.core.operators import MAX, SUM, XOR
-from repro.lists.generate import LinkedList, pathological_bank_list, random_list
+from repro.core.operators import MAX, XOR
+from repro.lists.generate import random_list
 from repro.machine.config import CRAY_C90, CRAY_YMP
 from repro.simulate.contraction_sim import (
     anderson_miller_scan_sim,
@@ -75,7 +75,6 @@ class TestResultsAreExact:
 
     def test_rank_sims(self, rng):
         lst = random_list(3000, rng)
-        expect = np.arange(3000)
         for sim in (serial_rank_sim, wyllie_rank_sim, sublist_rank_sim):
             out = sim(lst).out
             assert sorted(out) == list(range(3000)), sim.__name__

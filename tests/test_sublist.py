@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.serial import serial_list_scan, serial_list_rank
-from repro.core.operators import AFFINE, MAX, MIN, PROD, SUM, XOR
+from repro.core.operators import AFFINE, MAX, MIN, PROD, XOR
 from repro.core.stats import ScanStats
 from repro.core.sublist import (
     SublistConfig,
@@ -13,7 +13,6 @@ from repro.core.sublist import (
     sublist_list_scan,
 )
 from repro.lists.generate import (
-    LinkedList,
     blocked_list,
     from_order,
     ordered_list,

@@ -93,7 +93,6 @@ class TestRandomTrees:
         # internal nodes 0..n_leaves-2 chain to the left; leaves fill in
         leaf_id = n_leaves - 1
         for internal in range(n_leaves - 1):
-            left_child = internal + 1 if internal < n_leaves - 2 else leaf_id
             if internal < n_leaves - 2:
                 parent[internal + 1] = internal
             else:

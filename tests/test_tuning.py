@@ -2,10 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.analysis.cost_model import PAPER_C90_COSTS, total_time
+from repro.analysis.cost_model import total_time
 from repro.core.schedule import optimal_schedule
 from repro.core.tuning import (
     PolylogFit,

@@ -15,7 +15,6 @@ from repro.baselines.wyllie import (
 from repro.core.operators import AFFINE, MAX, SUM, XOR
 from repro.core.stats import ScanStats
 from repro.lists.generate import (
-    LinkedList,
     from_order,
     ordered_list,
     random_list,
