@@ -19,7 +19,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.bench.harness import print_table, record_speedup
+from repro.bench.harness import print_table, record, record_speedup
 from repro.core.list_scan import list_scan
 from repro.engine import Engine
 from repro.lists.generate import random_list, random_values
@@ -43,9 +43,9 @@ def _sequential_seconds(lists):
 
 
 @pytest.mark.benchmark(group="engine")
-def test_engine_vs_sequential_mixed(benchmark, full_sweep):
-    count = 256 if full_sweep else 96
-    max_n = (1 << 17) if full_sweep else (1 << 14)
+def test_engine_vs_sequential_mixed(benchmark, full_sweep, smoke):
+    count = 24 if smoke else (256 if full_sweep else 96)
+    max_n = (1 << 11) if smoke else ((1 << 17) if full_sweep else (1 << 14))
     lists = _mixed_workload(count, 32, max_n, seed=20240805)
     total_nodes = sum(lst.n for lst in lists)
 
@@ -80,7 +80,7 @@ def test_engine_vs_sequential_mixed(benchmark, full_sweep):
 
 
 @pytest.mark.benchmark(group="engine")
-def test_engine_fault_isolation_overhead(benchmark, full_sweep):
+def test_engine_fault_isolation_overhead(benchmark, full_sweep, smoke):
     """Probe-time validation + containment must not eat the batching win.
 
     Runs the same healthy workload through the hardened serving path
@@ -89,8 +89,9 @@ def test_engine_fault_isolation_overhead(benchmark, full_sweep):
     least half the unvalidated throughput (in practice far more — the
     O(n) vectorized checks are cheap next to the scan itself).
     """
-    count = 128 if full_sweep else 64
-    lists = _mixed_workload(count, 32, 1 << 13, seed=11)
+    count = 16 if smoke else (128 if full_sweep else 64)
+    max_n = (1 << 10) if smoke else (1 << 13)
+    lists = _mixed_workload(count, 32, max_n, seed=11)
 
     unvalidated = Engine(cache_capacity=0, validate="off")
     unvalidated.map_scan(lists, "sum")
@@ -117,8 +118,10 @@ def test_engine_fault_isolation_overhead(benchmark, full_sweep):
 
 
 @pytest.mark.benchmark(group="engine")
-def test_engine_cache_repeated_workload(benchmark):
-    lists = _mixed_workload(48, 64, 1 << 13, seed=7)
+def test_engine_cache_repeated_workload(benchmark, smoke):
+    count = 12 if smoke else 48
+    max_n = (1 << 10) if smoke else (1 << 13)
+    lists = _mixed_workload(count, 64, max_n, seed=7)
     engine = Engine(cache_capacity=256)
     cold_results = engine.map_scan(lists, "sum")
     t_cold = engine.stats.seconds_executing
@@ -137,4 +140,78 @@ def test_engine_cache_repeated_workload(benchmark):
         t_cold,
         t_warm,
         note=f"{len(lists)} lists resubmitted verbatim",
+    )
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_off_overhead(benchmark, smoke):
+    """Tracing must be free when off and cheap when disabled.
+
+    ``trace=None`` skips every hook via ``is not None`` guards;
+    ``trace="off"`` routes every hook through the shared disabled
+    tracer (the call sites stay live, so this is the configuration
+    whose cost is actually interesting).  The recorded claim is the
+    issue's gate: the ``trace="off"`` overhead on ``list_scan`` stays
+    under 2%.  The hard assertion is deliberately looser (<10%) so a
+    noisy CI runner cannot flake the suite; the recorded ``ok`` flag
+    still reports the 2% gate.
+    """
+    from repro.trace import Tracer, compare_trace, trace_to_dict
+
+    n = 30_000 if smoke else 100_000
+    repeats = 3 if smoke else 5
+    rng = np.random.default_rng(42)
+    lst = random_list(n, rng, values=random_values(n, rng))
+
+    def timed(trace):
+        t0 = time.perf_counter()
+        out = list_scan(lst.copy(), "sum", algorithm="sublist", rng=0, trace=trace)
+        return time.perf_counter() - t0, out
+
+    # warm-up (schedule caches, numpy allocator)
+    timed(None)
+
+    t_none = t_off = t_on = float("inf")
+    ref = out_off = out_on = None
+    tracer = Tracer()
+    for _ in range(repeats):  # interleave to decorrelate from drift
+        dt, ref = timed(None)
+        t_none = min(t_none, dt)
+        dt, out_off = timed("off")
+        t_off = min(t_off, dt)
+        tracer.reset()
+        dt, out_on = timed(tracer)
+        t_on = min(t_on, dt)
+
+    np.testing.assert_array_equal(out_off, ref)
+    np.testing.assert_array_equal(out_on, ref)
+
+    overhead_off = t_off / t_none - 1.0
+    overhead_on = t_on / t_none - 1.0
+    print_table(
+        ["configuration", "seconds", "overhead"],
+        [
+            ["trace=None", t_none, 0.0],
+            ["trace='off'", t_off, overhead_off],
+            ["trace=Tracer()", t_on, overhead_on],
+        ],
+        title=f"tracing overhead on list_scan, n={n:,} (min of {repeats})",
+    )
+    report = compare_trace(tracer)
+    record(
+        "trace",
+        "trace='off' overhead on list_scan < 2%",
+        paper=0.02,
+        measured=overhead_off,
+        unit="frac",
+        ok=overhead_off < 0.02,
+        trace={
+            "enabled_overhead": overhead_on,
+            "compare": report.as_dict(),
+            "spans": trace_to_dict(tracer.last_root()),
+        },
+    )
+    benchmark.pedantic(lambda: timed("off"), rounds=1, iterations=1)
+    assert overhead_off < 0.10, (
+        f"trace='off' overhead {overhead_off:.1%} exceeds the loose 10% bound"
     )

@@ -51,12 +51,16 @@ def test_section3_kernel_equations(benchmark):
 
 
 @pytest.mark.benchmark(group="kernels")
-def test_phase_costs_scale_with_n(benchmark):
+def test_phase_costs_scale_with_n(benchmark, smoke):
     """End-to-end check: phase-1 + phase-3 cycles grow ≈ linearly in n
     with slope ≈ a = 8.4 (the combined rank slope)."""
 
     def run():
-        sizes = [1 << 16, 1 << 18, 1 << 20]
+        sizes = (
+            [1 << 13, 1 << 14, 1 << 15]
+            if smoke
+            else [1 << 16, 1 << 18, 1 << 20]
+        )
         totals = []
         for n in sizes:
             res = sublist_rank_sim(get_random_list(n), rng=0)

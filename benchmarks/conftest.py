@@ -11,6 +11,12 @@ Environment knobs:
 * ``REPRO_BENCH_FULL=1`` — extend the sweeps to the paper's largest
   sizes (32768K elements).  Default sweeps stop around 2M elements to
   keep a full benchmark run under a few minutes.
+* ``REPRO_BENCH_SMOKE=1`` — shrink the sweeps to small sizes so the
+  whole suite finishes in seconds; this is what the CI ``bench-smoke``
+  job runs.  Mutually exclusive with ``REPRO_BENCH_FULL`` (smoke wins).
+* ``REPRO_BENCH_JSON=path.json`` — at the end of the session, write
+  every paper-vs-measured record (including trace attachments) to the
+  given path.  CI uploads this file as the workflow artifact.
 """
 
 from __future__ import annotations
@@ -19,9 +25,10 @@ import os
 
 import pytest
 
-from repro.bench.harness import all_records, summary_lines
+from repro.bench.harness import all_records, summary_lines, write_records_json
 
-FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+FULL = not SMOKE and os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -31,8 +38,19 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     terminalreporter.write_sep("=", "paper vs measured (EXPERIMENTS.md summary)")
     for line in summary_lines():
         terminalreporter.write_line(line)
+    json_path = os.environ.get("REPRO_BENCH_JSON", "")
+    if json_path:
+        count = write_records_json(json_path)
+        terminalreporter.write_line(
+            f"wrote {count} record(s) to {json_path}"
+        )
 
 
 @pytest.fixture(scope="session")
 def full_sweep() -> bool:
     return FULL
+
+
+@pytest.fixture(scope="session")
+def smoke() -> bool:
+    return SMOKE

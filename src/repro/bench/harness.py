@@ -10,8 +10,9 @@ prints a summary at the end via the ``conftest`` hook.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "ExperimentRecord",
@@ -19,6 +20,8 @@ __all__ = [
     "record_speedup",
     "all_records",
     "clear_records",
+    "records_as_dicts",
+    "write_records_json",
     "format_table",
     "print_table",
     "summary_lines",
@@ -43,6 +46,10 @@ class ExperimentRecord:
     unit: str = ""
     ok: bool = True
     note: str = ""
+    #: optional structured attachment — e.g. a serialized span tree or a
+    #: ``DeviationReport.as_dict()`` from ``repro.trace``; carried into
+    #: the JSON export so the CI artifact keeps the full trajectory.
+    trace: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
 
 def record(
@@ -53,8 +60,13 @@ def record(
     unit: str = "",
     ok: bool = True,
     note: str = "",
+    trace: Optional[Dict[str, Any]] = None,
 ) -> ExperimentRecord:
-    """Register one paper-vs-measured comparison."""
+    """Register one paper-vs-measured comparison.
+
+    ``trace`` optionally attaches trace-derived structure (a span tree,
+    a deviation report) that the JSON export preserves verbatim.
+    """
     rec = ExperimentRecord(
         experiment=experiment,
         claim=claim,
@@ -63,6 +75,7 @@ def record(
         unit=unit,
         ok=ok,
         note=note,
+        trace=trace,
     )
     _REGISTRY.append(rec)
     return rec
@@ -106,6 +119,36 @@ def all_records() -> List[ExperimentRecord]:
 
 def clear_records() -> None:
     _REGISTRY.clear()
+
+
+def records_as_dicts() -> List[Dict[str, Any]]:
+    """All records as JSON-ready dicts (trace attachments included)."""
+    from ..trace.export import jsonable
+
+    return [
+        jsonable(
+            {
+                "experiment": rec.experiment,
+                "claim": rec.claim,
+                "paper": rec.paper,
+                "measured": rec.measured,
+                "unit": rec.unit,
+                "ok": rec.ok,
+                "note": rec.note,
+                "trace": rec.trace,
+            }
+        )
+        for rec in _REGISTRY
+    ]
+
+
+def write_records_json(path: str) -> int:
+    """Write every record to ``path`` as a JSON array; returns the
+    record count.  This is the CI bench-smoke artifact."""
+    records = records_as_dicts()
+    with open(path, "w") as fp:
+        json.dump({"records": records}, fp, indent=2)
+    return len(records)
 
 
 def format_table(

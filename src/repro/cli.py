@@ -11,6 +11,10 @@ Subcommands
               print the cycle breakdown
 ``tune``      show the model-tuned parameters and pack schedule for a size
 ``figures``   dump the CSV series of the paper's figures
+``trace``     run one traced scan, print the span tree and the
+              model-vs-observed deviation report (``--json`` for the
+              machine-readable artifact, ``--engine`` to serve the scan
+              through a traced engine)
 """
 
 from __future__ import annotations
@@ -122,6 +126,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tune = sub.add_parser("tune", help="model-tuned parameters for a size")
     p_tune.add_argument("-n", type=int, default=1 << 20)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace one scan and compare the observed trajectory "
+             "against the Section 4 model",
+    )
+    common(p_trace)
+    p_trace.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="sublist"
+    )
+    p_trace.add_argument(
+        "--op", default="sum", help="operator name (sum, max, min, …)"
+    )
+    p_trace.add_argument("--inclusive", action="store_true")
+    p_trace.add_argument(
+        "--engine", action="store_true",
+        help="serve the scan through a traced Engine (records the "
+             "run_batch/shard/route spans around the kernel)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="emit {'trace': …, 'compare': …} as JSON instead of the "
+             "human tree",
+    )
+    p_trace.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="additionally write the span stream (one JSON object per "
+             "span) to PATH",
+    )
+    p_trace.add_argument(
+        "--max-events", type=int, default=40,
+        help="events shown per span in the human tree",
+    )
 
     p_fig = sub.add_parser("figures", help="dump figure CSV series")
     p_fig.add_argument(
@@ -325,6 +362,75 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.harness import format_table
+    from .trace import Tracer, compare_trace, format_tree, trace_to_dict
+
+    lst, rng = _make_list(args)
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    if args.engine:
+        from .engine import Engine
+
+        engine = Engine(trace=tracer)
+        out = engine.scan(
+            lst, args.op, inclusive=args.inclusive, algorithm=args.algorithm
+        )
+    else:
+        out = list_scan(
+            lst, args.op, inclusive=args.inclusive,
+            algorithm=args.algorithm, rng=rng, trace=tracer,
+        )
+    dt = time.perf_counter() - t0
+
+    report = None
+    report_error = None
+    try:
+        report = compare_trace(tracer)
+    except ValueError as exc:
+        # e.g. a serial/wyllie run records no sublist trajectory
+        report_error = str(exc)
+
+    if args.jsonl:
+        from .trace import write_jsonl
+
+        with open(args.jsonl, "w") as fp:
+            lines = write_jsonl(tracer, fp)
+        if not args.json:
+            print(f"wrote {lines} span(s) to {args.jsonl}")
+
+    if args.json:
+        payload = {
+            "n": args.n,
+            "layout": args.layout,
+            "algorithm": args.algorithm,
+            "engine": args.engine,
+            "seconds": dt,
+            "trace": trace_to_dict(tracer),
+            "compare": report.as_dict() if report is not None else None,
+            "compare_error": report_error,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(format_tree(tracer, max_events=args.max_events))
+    print()
+    if report is not None:
+        print(format_table(
+            ["metric", "value"],
+            report.summary_rows(),
+            title="observed trajectory vs Section 4 model",
+        ))
+    else:
+        print(f"no model comparison: {report_error}")
+    print()
+    print(f"scan of {args.n:,} nodes ({args.algorithm}) in {dt:.3f}s; "
+          f"scan at tail = {out[lst.tail]}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     names = [args.only] if args.only else sorted(ALL_FIGURES)
     for name in names:
@@ -340,6 +446,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "simulate": _cmd_simulate,
     "tune": _cmd_tune,
+    "trace": _cmd_trace,
     "figures": _cmd_figures,
 }
 

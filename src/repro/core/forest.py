@@ -40,6 +40,7 @@ from ..core.schedule import ScheduleIterator, optimal_schedule
 from ..core.stats import ScanStats
 from ..core.tuning import SERIAL_CUTOFF, WYLLIE_CUTOFF, tuned_parameters
 from ..lists.generate import INDEX_DTYPE
+from ..trace.tracer import null_span, resolve_trace
 
 __all__ = [
     "forest_list_scan",
@@ -157,6 +158,7 @@ def forest_list_scan(
     stats: Optional[ScanStats] = None,
     out: Optional[np.ndarray] = None,
     return_list_ids: bool = False,
+    trace=None,
     _depth: int = 0,
 ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """Exclusive (or inclusive) scan of every list in a forest.
@@ -175,12 +177,20 @@ def forest_list_scan(
     return_list_ids:
         Also return, for every node, the index into ``heads`` of the
         list containing it.
+    trace:
+        ``None`` / ``"off"`` / a :class:`repro.trace.Tracer`; a traced
+        run records a ``forest_scan`` span with per-phase children and
+        per-pack live-count events, the same shape ``core.sublist``
+        emits (so ``repro.trace.compare`` works on fused engine shards
+        too).
 
     Returns the scan array (indexed by node), optionally with the list
     id array.  Nodes not reachable from any head keep arbitrary values.
     """
     op = get_operator(op)
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    tracer = resolve_trace(trace)
+    span = tracer.span if tracer is not None else null_span
     heads = np.asarray(heads, dtype=INDEX_DTYPE)
     n = nxt.shape[0]
     n_lists = heads.shape[0]
@@ -198,7 +208,8 @@ def forest_list_scan(
     # base cases: serial per chain / forest Wyllie
     # ------------------------------------------------------------------
     if n <= serial_cutoff or n < 4 * n_lists or _depth >= 4:
-        serial_forest_scan(nxt, values, heads, op, carries, out)
+        with span("forest_serial", n=n, n_lists=n_lists, depth=_depth):
+            serial_forest_scan(nxt, values, heads, op, carries, out)
         if stats is not None:
             stats.add_work(n, phase="forest_serial")
         if return_list_ids:
@@ -211,162 +222,204 @@ def forest_list_scan(
         s1 = s1 if s1 is not None else s1_t
     m = int(min(max(m, n_lists + 1), max(n_lists + 1, n // 2)))
 
-    idx_self = np.arange(n, dtype=INDEX_DTYPE)
-    is_tail = nxt == idx_self
-    candidates = idx_self[~is_tail]
-    want = m - n_lists
-    if want > 0 and candidates.size:
-        take = min(want, candidates.size)
-        positions = np.sort(
-            gen.choice(candidates, size=take, replace=False)
-        ).astype(INDEX_DTYPE)
-    else:
-        positions = np.empty(0, dtype=INDEX_DTYPE)
-    n_split = int(positions.size)
-    m_eff = n_lists + n_split  # total virtual processors / sublists
-
-    # ------------------------------------------------------------------
-    # INITIALIZE: cut at the splitters.  vp layout: [original lists,
-    # splitter-created sublists].
-    # ------------------------------------------------------------------
-    sl_head = np.empty(m_eff, dtype=INDEX_DTYPE)
-    sl_head[:n_lists] = heads
-    sl_head[n_lists:] = nxt[positions]
-    sl_value = op.identity_array(m_eff, values.dtype)
-    sl_value[n_lists:] = values[positions]
-    values[positions] = ident
-    nxt[positions] = positions
-
-    sl_sum = op.identity_array(m_eff, values.dtype)
-    sl_tail = np.full(m_eff, -1, dtype=INDEX_DTYPE)
-    end_tails = np.empty(0, dtype=INDEX_DTYPE)
-    saved_end_values = None
-
-    try:
-        # --------------------------------------------------------------
-        # PHASE 1
-        # --------------------------------------------------------------
-        schedule = optimal_schedule(n, m_eff, s1, costs)
-        gaps = ScheduleIterator(schedule)
-        vp_next = sl_head.copy()
-        vp_sum = op.identity_array(m_eff, values.dtype)
-        vp_proc = np.arange(m_eff, dtype=INDEX_DTYPE)
-        while vp_next.size:
-            gap = next(gaps)
-            x = vp_next.size
-            for _ in range(gap):
-                vp_sum = op.combine(vp_sum, values[vp_next])
-                vp_next = nxt[vp_next]
-            if stats is not None:
-                stats.add_round(gap)
-                stats.add_work(gap * x, phase="forest_phase1")
-            done = vp_next == nxt[vp_next]
-            fin = vp_proc[done]
-            sl_sum[fin] = vp_sum[done]
-            sl_tail[fin] = vp_next[done]
-            keep = ~done
-            vp_next, vp_sum, vp_proc = vp_next[keep], vp_sum[keep], vp_proc[keep]
-            if stats is not None:
-                stats.add_pack()
-
-        # --------------------------------------------------------------
-        # FIND_SUBLIST_LIST: reduced *forest* of sublist sums.
-        # Chains terminate at sublists whose tail is an original tail.
-        # --------------------------------------------------------------
-        nxt[positions] = -(np.arange(n_split, dtype=INDEX_DTYPE) + n_lists)
-        probe = nxt[sl_tail]
-        sl_next = np.where(
-            probe < 0, -probe, np.arange(m_eff, dtype=INDEX_DTYPE)
-        ).astype(INDEX_DTYPE)
-        chain_ends = np.flatnonzero(probe >= 0)  # one per original list
-        end_tails = sl_tail[chain_ends]
-        saved_end_values = values[end_tails].copy()
-        values[end_tails] = ident  # Phase 3 folds these repeatedly
-        nxt[sl_tail] = sl_tail  # restore self-loops
-        addback = sl_value[sl_next]
-        addback[chain_ends] = saved_end_values
-        sl_sum = op.combine(sl_sum, addback)
-        if stats is not None:
-            stats.add_work(m_eff, phase="forest_find_sublist")
-
-        # --------------------------------------------------------------
-        # PHASE 2: scan the reduced forest (chains: one per list).
-        # --------------------------------------------------------------
-        reduced_carries = None
-        if carries is not None:
-            reduced_carries = carries
-        sub_carries = (
-            np.asarray(reduced_carries)
-            if reduced_carries is not None
-            else None
-        )
-        carries_out = np.empty_like(sl_sum)
-        if m_eff > wyllie_cutoff and _depth < 3:
-            res = forest_list_scan(
-                sl_next,
-                sl_sum,
-                np.arange(n_lists, dtype=INDEX_DTYPE),
-                op,
-                carries=sub_carries,
-                serial_cutoff=serial_cutoff,
-                wyllie_cutoff=wyllie_cutoff,
-                rng=gen,
-                stats=stats,
-                out=carries_out,
-                _depth=_depth + 1,
-            )
-            carries_out = res
-        elif m_eff > serial_cutoff:
-            wyllie_forest_scan(
-                sl_next,
-                sl_sum,
-                np.arange(n_lists, dtype=INDEX_DTYPE),
-                op,
-                sub_carries,
-                carries_out,
-                stats=stats,
-            )
+    with span("forest_scan", n=n, n_lists=n_lists, depth=_depth) as scan_span:
+        idx_self = np.arange(n, dtype=INDEX_DTYPE)
+        is_tail = nxt == idx_self
+        candidates = idx_self[~is_tail]
+        want = m - n_lists
+        if want > 0 and candidates.size:
+            take = min(want, candidates.size)
+            positions = np.sort(
+                gen.choice(candidates, size=take, replace=False)
+            ).astype(INDEX_DTYPE)
         else:
-            serial_forest_scan(
-                sl_next,
-                sl_sum,
-                np.arange(n_lists, dtype=INDEX_DTYPE),
-                op,
-                sub_carries,
-                carries_out,
-            )
+            positions = np.empty(0, dtype=INDEX_DTYPE)
+        n_split = int(positions.size)
+        m_eff = n_lists + n_split  # total virtual processors / sublists
+        if scan_span is not None:
+            scan_span.attrs.update(m=m_eff, s1=float(s1))
 
         # --------------------------------------------------------------
-        # PHASE 3: expand along every sublist.
+        # INITIALIZE: cut at the splitters.  vp layout: [original
+        # lists, splitter-created sublists].
         # --------------------------------------------------------------
-        gaps3 = ScheduleIterator(schedule)
-        vp_next = sl_head.copy()
-        vp_sum = carries_out
-        while vp_next.size:
-            gap = next(gaps3)
-            x = vp_next.size
-            for _ in range(gap):
-                out[vp_next] = vp_sum
-                vp_sum = op.combine(vp_sum, values[vp_next])
-                vp_next = nxt[vp_next]
+        with span("initialize", m=m_eff):
+            sl_head = np.empty(m_eff, dtype=INDEX_DTYPE)
+            sl_head[:n_lists] = heads
+            sl_head[n_lists:] = nxt[positions]
+            sl_value = op.identity_array(m_eff, values.dtype)
+            sl_value[n_lists:] = values[positions]
+            values[positions] = ident
+            nxt[positions] = positions
+
+            sl_sum = op.identity_array(m_eff, values.dtype)
+            sl_tail = np.full(m_eff, -1, dtype=INDEX_DTYPE)
+            end_tails = np.empty(0, dtype=INDEX_DTYPE)
+            saved_end_values = None
+
+        try:
+            # ----------------------------------------------------------
+            # PHASE 1
+            # ----------------------------------------------------------
+            schedule = optimal_schedule(n, m_eff, s1, costs)
+            if scan_span is not None:
+                scan_span.attrs["scheduled_packs"] = int(np.asarray(schedule).size)
+            gaps = ScheduleIterator(schedule)
+            with span("phase1", m=m_eff):
+                vp_next = sl_head.copy()
+                vp_sum = op.identity_array(m_eff, values.dtype)
+                vp_proc = np.arange(m_eff, dtype=INDEX_DTYPE)
+                total_steps = 0
+                while vp_next.size:
+                    gap = next(gaps)
+                    total_steps += int(gap)
+                    x = vp_next.size
+                    for _ in range(gap):
+                        vp_sum = op.combine(vp_sum, values[vp_next])
+                        vp_next = nxt[vp_next]
+                    if stats is not None:
+                        stats.add_round(gap)
+                        stats.add_work(gap * x, phase="forest_phase1")
+                    done = vp_next == nxt[vp_next]
+                    fin = vp_proc[done]
+                    sl_sum[fin] = vp_sum[done]
+                    sl_tail[fin] = vp_next[done]
+                    keep = ~done
+                    vp_next, vp_sum, vp_proc = (
+                        vp_next[keep], vp_sum[keep], vp_proc[keep],
+                    )
+                    if stats is not None:
+                        stats.add_pack()
+                    if tracer is not None:
+                        tracer.event(
+                            "pack",
+                            step=total_steps,
+                            gap=int(gap),
+                            live_before=int(x),
+                            live_after=int(vp_next.size),
+                            finished=int(fin.size),
+                        )
+
+            # ----------------------------------------------------------
+            # FIND_SUBLIST_LIST: reduced *forest* of sublist sums.
+            # Chains terminate at sublists whose tail is an original
+            # tail.
+            # ----------------------------------------------------------
+            with span("find_sublist_list", m=m_eff):
+                nxt[positions] = -(np.arange(n_split, dtype=INDEX_DTYPE) + n_lists)
+                probe = nxt[sl_tail]
+                sl_next = np.where(
+                    probe < 0, -probe, np.arange(m_eff, dtype=INDEX_DTYPE)
+                ).astype(INDEX_DTYPE)
+                chain_ends = np.flatnonzero(probe >= 0)  # one per original list
+                end_tails = sl_tail[chain_ends]
+                saved_end_values = values[end_tails].copy()
+                values[end_tails] = ident  # Phase 3 folds these repeatedly
+                nxt[sl_tail] = sl_tail  # restore self-loops
+                addback = sl_value[sl_next]
+                addback[chain_ends] = saved_end_values
+                sl_sum = op.combine(sl_sum, addback)
             if stats is not None:
-                stats.add_round(gap)
-                stats.add_work(gap * x, phase="forest_phase3")
-            done = vp_next == nxt[vp_next]
-            if np.any(done):
-                out[vp_next] = vp_sum
-                keep = ~done
-                vp_next, vp_sum = vp_next[keep], vp_sum[keep]
-            if stats is not None:
-                stats.add_pack()
-    finally:
-        # --------------------------------------------------------------
-        # RESTORE
-        # --------------------------------------------------------------
-        if saved_end_values is not None:
-            values[end_tails] = saved_end_values
-        nxt[positions] = sl_head[n_lists:]
-        values[positions] = sl_value[n_lists:]
+                stats.add_work(m_eff, phase="forest_find_sublist")
+
+            # ----------------------------------------------------------
+            # PHASE 2: scan the reduced forest (chains: one per list).
+            # ----------------------------------------------------------
+            with span("phase2", m=m_eff) as phase2_span:
+                reduced_carries = None
+                if carries is not None:
+                    reduced_carries = carries
+                sub_carries = (
+                    np.asarray(reduced_carries)
+                    if reduced_carries is not None
+                    else None
+                )
+                carries_out = np.empty_like(sl_sum)
+                if m_eff > wyllie_cutoff and _depth < 3:
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "recursive"
+                    res = forest_list_scan(
+                        sl_next,
+                        sl_sum,
+                        np.arange(n_lists, dtype=INDEX_DTYPE),
+                        op,
+                        carries=sub_carries,
+                        serial_cutoff=serial_cutoff,
+                        wyllie_cutoff=wyllie_cutoff,
+                        rng=gen,
+                        stats=stats,
+                        out=carries_out,
+                        trace=tracer,
+                        _depth=_depth + 1,
+                    )
+                    carries_out = res
+                elif m_eff > serial_cutoff:
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "wyllie"
+                    wyllie_forest_scan(
+                        sl_next,
+                        sl_sum,
+                        np.arange(n_lists, dtype=INDEX_DTYPE),
+                        op,
+                        sub_carries,
+                        carries_out,
+                        stats=stats,
+                    )
+                else:
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "serial"
+                    serial_forest_scan(
+                        sl_next,
+                        sl_sum,
+                        np.arange(n_lists, dtype=INDEX_DTYPE),
+                        op,
+                        sub_carries,
+                        carries_out,
+                    )
+
+            # ----------------------------------------------------------
+            # PHASE 3: expand along every sublist.
+            # ----------------------------------------------------------
+            with span("phase3", m=m_eff):
+                gaps3 = ScheduleIterator(schedule)
+                vp_next = sl_head.copy()
+                vp_sum = carries_out
+                total_steps = 0
+                while vp_next.size:
+                    gap = next(gaps3)
+                    total_steps += int(gap)
+                    x = vp_next.size
+                    for _ in range(gap):
+                        out[vp_next] = vp_sum
+                        vp_sum = op.combine(vp_sum, values[vp_next])
+                        vp_next = nxt[vp_next]
+                    if stats is not None:
+                        stats.add_round(gap)
+                        stats.add_work(gap * x, phase="forest_phase3")
+                    done = vp_next == nxt[vp_next]
+                    if np.any(done):
+                        out[vp_next] = vp_sum
+                        keep = ~done
+                        vp_next, vp_sum = vp_next[keep], vp_sum[keep]
+                    if stats is not None:
+                        stats.add_pack()
+                    if tracer is not None:
+                        tracer.event(
+                            "pack",
+                            step=total_steps,
+                            gap=int(gap),
+                            live_before=int(x),
+                            live_after=int(vp_next.size),
+                        )
+        finally:
+            # ----------------------------------------------------------
+            # RESTORE
+            # ----------------------------------------------------------
+            with span("restore", m=m_eff):
+                if saved_end_values is not None:
+                    values[end_tails] = saved_end_values
+                nxt[positions] = sl_head[n_lists:]
+                values[positions] = sl_value[n_lists:]
 
     if inclusive:
         out = op.combine(out, values)

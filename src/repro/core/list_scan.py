@@ -44,6 +44,7 @@ import numpy as np
 
 from ..lists.generate import LinkedList
 from ..lists.validate import validate_list_strict
+from ..trace.tracer import null_span, resolve_trace
 from .operators import Operator, SUM, get_operator
 from .stats import ScanStats
 
@@ -94,6 +95,7 @@ def list_scan(
     rng: Optional[Union[np.random.Generator, int]] = None,
     stats: Optional[ScanStats] = None,
     engine=None,
+    trace=None,
     **kwargs,
 ) -> np.ndarray:
     """Scan a linked list under a binary associative operator.
@@ -122,9 +124,16 @@ def list_scan(
         served through the batched engine (result cache + cost-model
         routing) rather than dispatched directly.  The engine manages
         its own RNG stream and statistics and forwards nothing to the
-        kernels, so passing ``rng``, ``stats`` or implementation
-        ``**kwargs`` together with ``engine`` raises :class:`TypeError`
-        instead of silently dropping them.
+        kernels, so passing ``rng``, ``stats``, ``trace`` or
+        implementation ``**kwargs`` together with ``engine`` raises
+        :class:`TypeError` instead of silently dropping them (attach a
+        tracer to the engine itself via ``Engine(trace=...)``).
+    trace:
+        ``None`` (default — tracing hooks are skipped entirely),
+        ``"off"`` (hooks run against a disabled tracer; the overhead
+        configuration the benchmarks measure) or a
+        :class:`repro.trace.Tracer` collecting per-phase spans and
+        pack events.  See ``docs/tracing.md``.
     **kwargs:
         Forwarded to the selected implementation (e.g. ``config=`` for
         the sublist algorithm, ``variant=`` for Wyllie).
@@ -139,54 +148,60 @@ def list_scan(
         validate_list_strict(lst)
     if engine is not None:
         dropped = [
-            name for name, value in (("rng", rng), ("stats", stats))
+            name for name, value in (("rng", rng), ("stats", stats), ("trace", trace))
             if value is not None
         ]
         dropped.extend(sorted(kwargs))
         if dropped:
             raise TypeError(
                 "list_scan(engine=...) serves the call through the batched "
-                "engine, which manages its own RNG stream and statistics and "
-                "forwards no implementation kwargs; incompatible "
-                f"argument(s): {', '.join(dropped)}"
+                "engine, which manages its own RNG stream, statistics and "
+                "tracer (Engine(trace=...)) and forwards no implementation "
+                f"kwargs; incompatible argument(s): {', '.join(dropped)}"
             )
         return engine.scan(lst, op, inclusive=inclusive, algorithm=algorithm)
     if algorithm == "auto":
         algorithm = _auto_algorithm(lst.n)
 
-    if algorithm == "sublist":
-        from .sublist import sublist_list_scan
+    tracer = resolve_trace(trace)
+    span = tracer.span if tracer is not None else null_span
+    with span("list_scan", algorithm=algorithm, n=lst.n, inclusive=inclusive):
+        if algorithm == "sublist":
+            from .sublist import sublist_list_scan
 
-        return sublist_list_scan(
-            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+            return sublist_list_scan(
+                lst, op, inclusive=inclusive, rng=rng, stats=stats,
+                trace=tracer, **kwargs,
+            )
+        if algorithm == "wyllie":
+            from ..baselines.wyllie import wyllie_list_scan
+
+            return wyllie_list_scan(lst, op, inclusive=inclusive, stats=stats, **kwargs)
+        if algorithm == "serial":
+            from ..baselines.serial import serial_list_scan
+
+            return serial_list_scan(lst, op, inclusive=inclusive, **kwargs)
+        if algorithm == "random_mate":
+            from ..baselines.random_mate import random_mate_list_scan
+
+            return random_mate_list_scan(
+                lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+            )
+        if algorithm == "anderson_miller":
+            from ..baselines.anderson_miller import anderson_miller_list_scan
+
+            return anderson_miller_list_scan(
+                lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+            )
+        if algorithm == "early_reconnect":
+            from .early_reconnect import early_reconnect_list_scan
+
+            return early_reconnect_list_scan(
+                lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
+            )
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
-    if algorithm == "wyllie":
-        from ..baselines.wyllie import wyllie_list_scan
-
-        return wyllie_list_scan(lst, op, inclusive=inclusive, stats=stats, **kwargs)
-    if algorithm == "serial":
-        from ..baselines.serial import serial_list_scan
-
-        return serial_list_scan(lst, op, inclusive=inclusive, **kwargs)
-    if algorithm == "random_mate":
-        from ..baselines.random_mate import random_mate_list_scan
-
-        return random_mate_list_scan(
-            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
-        )
-    if algorithm == "anderson_miller":
-        from ..baselines.anderson_miller import anderson_miller_list_scan
-
-        return anderson_miller_list_scan(
-            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
-        )
-    if algorithm == "early_reconnect":
-        from .early_reconnect import early_reconnect_list_scan
-
-        return early_reconnect_list_scan(
-            lst, op, inclusive=inclusive, rng=rng, stats=stats, **kwargs
-        )
-    raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
 
 
 def list_rank(

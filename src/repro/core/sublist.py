@@ -38,6 +38,7 @@ from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..baselines.serial import serial_list_scan
 from ..baselines.wyllie import wyllie_list_scan
 from ..lists.generate import INDEX_DTYPE, LinkedList
+from ..trace.tracer import null_span, resolve_trace
 from .operators import Operator, SUM, get_operator
 from .schedule import ScheduleIterator, optimal_schedule
 from .stats import ScanStats
@@ -171,6 +172,7 @@ def sublist_list_scan(
     rng: Optional[Union[np.random.Generator, int]] = None,
     stats: Optional[ScanStats] = None,
     out: Optional[np.ndarray] = None,
+    trace=None,
 ) -> np.ndarray:
     """List scan with the paper's sublist algorithm.
 
@@ -179,11 +181,21 @@ def sublist_list_scan(
     splitters) and restored before returning, exactly as in the paper;
     on any exception the arrays are restored as well.
 
+    ``trace`` attaches a :class:`repro.trace.Tracer` (or ``"off"`` for
+    the instrumented-but-disabled path): the run records a
+    ``sublist_scan`` span with per-phase children and one ``pack``
+    event per pack carrying the live-sublist count before/after — the
+    observed counterpart of the paper's ``g(s)`` trajectory
+    (``repro.trace.compare`` overlays the two).  Hooks fire per phase
+    and per pack, never per element, so the untraced path pays only a
+    handful of branch checks.
+
     Returns the exclusive (default) or inclusive scan indexed by node.
     """
     op = get_operator(op)
     cfg = config or SublistConfig()
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    tracer = resolve_trace(trace)
     n = lst.n
     values = lst.values
     if out is None:
@@ -191,7 +203,8 @@ def sublist_list_scan(
     if stats is not None:
         stats.alloc(n)  # the output vector
     _scan_in_place(
-        lst.next, values, lst.head, op, cfg, gen, stats, out, depth=0
+        lst.next, values, lst.head, op, cfg, gen, stats, out, depth=0,
+        tracer=tracer,
     )
     if inclusive:
         out = op.combine(out, values)
@@ -228,202 +241,273 @@ def _scan_in_place(
     stats: Optional[ScanStats],
     out: np.ndarray,
     depth: int,
+    tracer=None,
 ) -> None:
     """Exclusive scan of the list (nxt, values, head) into ``out``.
 
     Temporarily rewrites ``nxt``/``values`` and restores them before
-    returning (also on error).
+    returning (also on error).  ``tracer`` (a
+    :class:`repro.trace.Tracer` or ``None``) records per-phase spans
+    and per-pack live-count events; every hook is guarded so the
+    untraced path only pays branch checks, once per pack or phase.
     """
     n = nxt.shape[0]
+    span = tracer.span if tracer is not None else null_span
     if n <= cfg.serial_cutoff or n < 4 or depth >= cfg.max_depth:
-        serial_list_scan(LinkedList(nxt, head, values), op, out=out)
+        with span("serial_scan", n=n, depth=depth):
+            serial_list_scan(LinkedList(nxt, head, values), op, out=out)
         if stats is not None:
             stats.add_work(n, phase="serial")
         return
 
-    m_req, s1 = _resolve_parameters(n, cfg)
-    m_req = int(min(m_req, max(2, n // 2)))
-    idx_self = np.arange(n, dtype=INDEX_DTYPE)
-    loops = np.flatnonzero(nxt == idx_self)
-    if loops.size == 0:
-        from ..lists.validate import ListStructureError
-
-        raise ListStructureError(
-            "the successor array has no self-loop tail; not a valid list"
-        )
-    tail = int(loops[0])
-    positions = choose_splitters(n, m_req, tail, cfg.splitters, rng)
-    m = int(positions.size) + 1
-    if m < 2:
-        serial_list_scan(LinkedList(nxt, head, values), op, out=out)
-        return
-
-    ident = op.identity_for(values.dtype)
-
-    # ------------------------------------------------------------------
-    # INITIALIZE (Section 3): save links/values at the splitters, then
-    # cut the list into m independent self-loop-terminated sublists.
-    # ------------------------------------------------------------------
-    sl_random = np.empty(m, dtype=INDEX_DTYPE)
-    sl_random[0] = -1  # becomes the whole-list tail in FIND_SUBLIST_LIST
-    sl_random[1:] = positions
-    sl_head = np.empty(m, dtype=INDEX_DTYPE)
-    sl_head[0] = head
-    sl_head[1:] = nxt[positions]  # gather heads (before cutting!)
-    sl_value = op.identity_array(m, values.dtype)
-    sl_value[1:] = values[positions]  # gather+save splitter values
-    whole_tail_value = None  # filled in FIND_SUBLIST_LIST
-
-    values[positions] = ident  # scatter identity at sublist tails
-    nxt[positions] = positions  # scatter self-loops at sublist tails
-
-    sl_sum = op.identity_array(m, values.dtype)
-    sl_tail = np.full(m, -1, dtype=INDEX_DTYPE)
-
-    if stats is not None:
-        stats.alloc(6 * m)
-        stats.add_gather(2 * m)
-        stats.add_scatter(2 * m)
-
-    try:
-        # --------------------------------------------------------------
-        # PHASE 1: reduce each sublist to its sum, packing on schedule.
-        # --------------------------------------------------------------
-        schedule = optimal_schedule(n, m, s1, cfg.costs, guard=cfg.schedule_guard)
-        gaps1 = ScheduleIterator(schedule, cfg.tail_growth)
-
-        vp_next = sl_head.copy()
-        vp_sum = op.identity_array(m, values.dtype)
-        vp_proc = np.arange(m, dtype=INDEX_DTYPE)
-        total_steps = 0
-        while vp_next.size:
-            if cfg.short_vector_fallback and vp_next.size <= cfg.short_vector_fallback:
-                _finish_phase1_serial(
-                    nxt, values, op, vp_next, vp_sum, vp_proc, sl_sum, sl_tail, stats
-                )
-                break
-            gap = next(gaps1)
-            total_steps = _guard_steps(total_steps, gap, n)
-            x = vp_next.size
-            for _ in range(gap):
-                vp_sum = op.combine(vp_sum, values[vp_next])
-                vp_next = nxt[vp_next]
-            if stats is not None:
-                stats.add_round(gap)
-                stats.add_work(gap * x, phase="phase1")
-                stats.add_gather(2 * gap * x)
-            done = vp_next == nxt[vp_next]
-            finished = vp_proc[done]
-            sl_sum[finished] = vp_sum[done]
-            sl_tail[finished] = vp_next[done]
-            keep = ~done
-            vp_next = vp_next[keep]
-            vp_sum = vp_sum[keep]
-            vp_proc = vp_proc[keep]
-            if stats is not None:
-                stats.add_pack()
-                stats.add_gather(x)
-                stats.add_scatter(2 * finished.size + 3 * vp_next.size)
-
-        # --------------------------------------------------------------
-        # FIND_SUBLIST_LIST: link the sublist sums into a reduced list.
-        # --------------------------------------------------------------
-        # Scatter the *negated* sublist index at each splitter so it is
-        # distinguishable from the original self-loop at the whole tail.
-        nxt[sl_random[1:]] = -np.arange(1, m, dtype=INDEX_DTYPE)
-        probe = nxt[sl_tail]  # gather: index written by my successor
-        sl_next = np.where(probe < 0, -probe, np.arange(m, dtype=INDEX_DTYPE))
-        sl_next = sl_next.astype(INDEX_DTYPE)
-        ends = np.flatnonzero(probe >= 0)
-        if ends.size != 1:
+    with span("sublist_scan", n=n, depth=depth) as scan_span:
+        m_req, s1 = _resolve_parameters(n, cfg)
+        m_req = int(min(m_req, max(2, n // 2)))
+        idx_self = np.arange(n, dtype=INDEX_DTYPE)
+        loops = np.flatnonzero(nxt == idx_self)
+        if loops.size == 0:
             from ..lists.validate import ListStructureError
 
             raise ListStructureError(
-                "reduced list has no unique tail sublist; the successor "
-                "array appears to contain a cycle"
+                "the successor array has no self-loop tail; not a valid list"
             )
-        tail_subl = int(ends[0])
-        whole_tail = int(sl_tail[tail_subl])
-        sl_random[0] = whole_tail
-        whole_tail_value = values[whole_tail].copy()
-        sl_value[0] = whole_tail_value
-        values[whole_tail] = ident  # Phase 3 will repeatedly fold this in
-        nxt[sl_tail] = sl_tail  # restore self-loops at the sublist tails
-        # fold the saved splitter values (each sublist's true tail value)
-        # back into the sublist sums; the tail sublist gets the value of
-        # the whole-list tail.
-        addback = sl_value[sl_next]
-        addback[tail_subl] = sl_value[0]
-        sl_sum = op.combine(sl_sum, addback)
+        tail = int(loops[0])
+        positions = choose_splitters(n, m_req, tail, cfg.splitters, rng)
+        m = int(positions.size) + 1
+        if m < 2:
+            serial_list_scan(LinkedList(nxt, head, values), op, out=out)
+            return
+        if scan_span is not None:
+            scan_span.attrs.update(m=m, s1=float(s1), splitters=cfg.splitters)
+
+        ident = op.identity_for(values.dtype)
+
+        # --------------------------------------------------------------
+        # INITIALIZE (Section 3): save links/values at the splitters,
+        # then cut the list into m independent self-loop-terminated
+        # sublists.
+        # --------------------------------------------------------------
+        with span("initialize", m=m):
+            sl_random = np.empty(m, dtype=INDEX_DTYPE)
+            sl_random[0] = -1  # becomes the whole-list tail below
+            sl_random[1:] = positions
+            sl_head = np.empty(m, dtype=INDEX_DTYPE)
+            sl_head[0] = head
+            sl_head[1:] = nxt[positions]  # gather heads (before cutting!)
+            sl_value = op.identity_array(m, values.dtype)
+            sl_value[1:] = values[positions]  # gather+save splitter values
+            whole_tail_value = None  # filled in FIND_SUBLIST_LIST
+
+            values[positions] = ident  # scatter identity at sublist tails
+            nxt[positions] = positions  # scatter self-loops at sublist tails
+
+            sl_sum = op.identity_array(m, values.dtype)
+            sl_tail = np.full(m, -1, dtype=INDEX_DTYPE)
+
         if stats is not None:
-            stats.add_work(m, phase="find_sublist")
+            stats.alloc(6 * m)
             stats.add_gather(2 * m)
             stats.add_scatter(2 * m)
 
-        # --------------------------------------------------------------
-        # PHASE 2: scan the reduced list (serial / Wyllie / recursive).
-        # --------------------------------------------------------------
-        carries = np.empty_like(sl_sum)
-        if m > cfg.wyllie_cutoff and depth + 1 < cfg.max_depth:
-            sub_stats = ScanStats() if stats is not None else None
-            _scan_in_place(
-                sl_next, sl_sum, 0, op, cfg, rng, sub_stats, carries, depth + 1
+        try:
+            # ----------------------------------------------------------
+            # PHASE 1: reduce each sublist to its sum, packing on
+            # schedule.
+            # ----------------------------------------------------------
+            schedule = optimal_schedule(
+                n, m, s1, cfg.costs, guard=cfg.schedule_guard
             )
-            if stats is not None and sub_stats is not None:
-                stats.merge(sub_stats)
-        elif m > cfg.serial_cutoff:
-            reduced = LinkedList(sl_next, 0, sl_sum)
-            carries[...] = wyllie_list_scan(reduced, op, stats=stats)
-        else:
-            reduced = LinkedList(sl_next, 0, sl_sum)
-            serial_list_scan(reduced, op, out=carries)
-            if stats is not None:
-                stats.add_work(m, phase="phase2_serial")
+            if scan_span is not None:
+                scan_span.attrs["scheduled_packs"] = int(
+                    np.asarray(schedule).size
+                )
+            gaps1 = ScheduleIterator(schedule, cfg.tail_growth)
 
-        # --------------------------------------------------------------
-        # PHASE 3: expand the carries back along each sublist.
-        # --------------------------------------------------------------
-        gaps3 = ScheduleIterator(schedule, cfg.tail_growth)
-        vp_next = sl_head.copy()
-        vp_sum = carries
-        total_steps = 0
-        while vp_next.size:
-            if cfg.short_vector_fallback and vp_next.size <= cfg.short_vector_fallback:
-                _finish_phase3_serial(nxt, values, op, vp_next, vp_sum, out, stats)
-                break
-            gap = next(gaps3)
-            total_steps = _guard_steps(total_steps, gap, n)
-            x = vp_next.size
-            for _ in range(gap):
-                out[vp_next] = vp_sum
-                vp_sum = op.combine(vp_sum, values[vp_next])
-                vp_next = nxt[vp_next]
+            with span("phase1", m=m):
+                vp_next = sl_head.copy()
+                vp_sum = op.identity_array(m, values.dtype)
+                vp_proc = np.arange(m, dtype=INDEX_DTYPE)
+                total_steps = 0
+                while vp_next.size:
+                    if (
+                        cfg.short_vector_fallback
+                        and vp_next.size <= cfg.short_vector_fallback
+                    ):
+                        if tracer is not None:
+                            tracer.event(
+                                "serial_tail",
+                                step=int(total_steps),
+                                live=int(vp_next.size),
+                            )
+                        _finish_phase1_serial(
+                            nxt, values, op, vp_next, vp_sum, vp_proc,
+                            sl_sum, sl_tail, stats,
+                        )
+                        break
+                    gap = next(gaps1)
+                    total_steps = _guard_steps(total_steps, gap, n)
+                    x = vp_next.size
+                    for _ in range(gap):
+                        vp_sum = op.combine(vp_sum, values[vp_next])
+                        vp_next = nxt[vp_next]
+                    if stats is not None:
+                        stats.add_round(gap)
+                        stats.add_work(gap * x, phase="phase1")
+                        stats.add_gather(2 * gap * x)
+                    done = vp_next == nxt[vp_next]
+                    finished = vp_proc[done]
+                    sl_sum[finished] = vp_sum[done]
+                    sl_tail[finished] = vp_next[done]
+                    keep = ~done
+                    vp_next = vp_next[keep]
+                    vp_sum = vp_sum[keep]
+                    vp_proc = vp_proc[keep]
+                    if stats is not None:
+                        stats.add_pack()
+                        stats.add_gather(x)
+                        stats.add_scatter(2 * finished.size + 3 * vp_next.size)
+                    if tracer is not None:
+                        tracer.event(
+                            "pack",
+                            step=int(total_steps),
+                            gap=int(gap),
+                            live_before=int(x),
+                            live_after=int(vp_next.size),
+                            finished=int(finished.size),
+                        )
+
+            # ----------------------------------------------------------
+            # FIND_SUBLIST_LIST: link the sublist sums into a reduced
+            # list.  Scatter the *negated* sublist index at each
+            # splitter so it is distinguishable from the original
+            # self-loop at the whole tail.
+            # ----------------------------------------------------------
+            with span("find_sublist_list", m=m):
+                nxt[sl_random[1:]] = -np.arange(1, m, dtype=INDEX_DTYPE)
+                probe = nxt[sl_tail]  # gather: index written by my successor
+                sl_next = np.where(
+                    probe < 0, -probe, np.arange(m, dtype=INDEX_DTYPE)
+                )
+                sl_next = sl_next.astype(INDEX_DTYPE)
+                ends = np.flatnonzero(probe >= 0)
+                if ends.size != 1:
+                    from ..lists.validate import ListStructureError
+
+                    raise ListStructureError(
+                        "reduced list has no unique tail sublist; the "
+                        "successor array appears to contain a cycle"
+                    )
+                tail_subl = int(ends[0])
+                whole_tail = int(sl_tail[tail_subl])
+                sl_random[0] = whole_tail
+                whole_tail_value = values[whole_tail].copy()
+                sl_value[0] = whole_tail_value
+                values[whole_tail] = ident  # Phase 3 repeatedly folds this
+                nxt[sl_tail] = sl_tail  # restore sublist-tail self-loops
+                # fold the saved splitter values (each sublist's true
+                # tail value) back into the sublist sums; the tail
+                # sublist gets the value of the whole-list tail.
+                addback = sl_value[sl_next]
+                addback[tail_subl] = sl_value[0]
+                sl_sum = op.combine(sl_sum, addback)
             if stats is not None:
-                stats.add_round(gap)
-                stats.add_work(gap * x, phase="phase3")
-                stats.add_gather(2 * gap * x)
-                stats.add_scatter(gap * x)
-            done = vp_next == nxt[vp_next]
-            if np.any(done):
-                out[vp_next] = vp_sum  # completed tails get their final scan
-                keep = ~done
-                vp_next = vp_next[keep]
-                vp_sum = vp_sum[keep]
+                stats.add_work(m, phase="find_sublist")
+                stats.add_gather(2 * m)
+                stats.add_scatter(2 * m)
+
+            # ----------------------------------------------------------
+            # PHASE 2: scan the reduced list (serial/Wyllie/recursive).
+            # ----------------------------------------------------------
+            with span("phase2", m=m) as phase2_span:
+                carries = np.empty_like(sl_sum)
+                if m > cfg.wyllie_cutoff and depth + 1 < cfg.max_depth:
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "recursive"
+                    sub_stats = ScanStats() if stats is not None else None
+                    _scan_in_place(
+                        sl_next, sl_sum, 0, op, cfg, rng, sub_stats,
+                        carries, depth + 1, tracer=tracer,
+                    )
+                    if stats is not None and sub_stats is not None:
+                        stats.merge(sub_stats)
+                elif m > cfg.serial_cutoff:
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "wyllie"
+                    reduced = LinkedList(sl_next, 0, sl_sum)
+                    carries[...] = wyllie_list_scan(reduced, op, stats=stats)
+                else:
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "serial"
+                    reduced = LinkedList(sl_next, 0, sl_sum)
+                    serial_list_scan(reduced, op, out=carries)
+                    if stats is not None:
+                        stats.add_work(m, phase="phase2_serial")
+
+            # ----------------------------------------------------------
+            # PHASE 3: expand the carries back along each sublist.
+            # ----------------------------------------------------------
+            with span("phase3", m=m):
+                gaps3 = ScheduleIterator(schedule, cfg.tail_growth)
+                vp_next = sl_head.copy()
+                vp_sum = carries
+                total_steps = 0
+                while vp_next.size:
+                    if (
+                        cfg.short_vector_fallback
+                        and vp_next.size <= cfg.short_vector_fallback
+                    ):
+                        if tracer is not None:
+                            tracer.event(
+                                "serial_tail",
+                                step=int(total_steps),
+                                live=int(vp_next.size),
+                            )
+                        _finish_phase3_serial(
+                            nxt, values, op, vp_next, vp_sum, out, stats
+                        )
+                        break
+                    gap = next(gaps3)
+                    total_steps = _guard_steps(total_steps, gap, n)
+                    x = vp_next.size
+                    for _ in range(gap):
+                        out[vp_next] = vp_sum
+                        vp_sum = op.combine(vp_sum, values[vp_next])
+                        vp_next = nxt[vp_next]
+                    if stats is not None:
+                        stats.add_round(gap)
+                        stats.add_work(gap * x, phase="phase3")
+                        stats.add_gather(2 * gap * x)
+                        stats.add_scatter(gap * x)
+                    done = vp_next == nxt[vp_next]
+                    if np.any(done):
+                        out[vp_next] = vp_sum  # tails get their final scan
+                        keep = ~done
+                        vp_next = vp_next[keep]
+                        vp_sum = vp_sum[keep]
+                    if stats is not None:
+                        stats.add_pack()
+                        stats.add_gather(x)
+                        stats.add_scatter(x + 2 * vp_next.size)
+                    if tracer is not None:
+                        tracer.event(
+                            "pack",
+                            step=int(total_steps),
+                            gap=int(gap),
+                            live_before=int(x),
+                            live_after=int(vp_next.size),
+                        )
+        finally:
+            # ----------------------------------------------------------
+            # RESTORE_LIST: the input arrays return bit-identical.
+            # ----------------------------------------------------------
+            with span("restore", m=m):
+                if whole_tail_value is not None:
+                    values[sl_random[0]] = whole_tail_value
+                nxt[sl_random[1:]] = sl_head[1:]
+                values[sl_random[1:]] = sl_value[1:]
             if stats is not None:
-                stats.add_pack()
-                stats.add_gather(x)
-                stats.add_scatter(x + 2 * vp_next.size)
-    finally:
-        # --------------------------------------------------------------
-        # RESTORE_LIST: the input arrays are returned bit-identical.
-        # --------------------------------------------------------------
-        if whole_tail_value is not None:
-            values[sl_random[0]] = whole_tail_value
-        nxt[sl_random[1:]] = sl_head[1:]
-        values[sl_random[1:]] = sl_value[1:]
-        if stats is not None:
-            stats.add_scatter(2 * m)
-            stats.free(6 * m)
+                stats.add_scatter(2 * m)
+                stats.free(6 * m)
 
 
 def _guard_steps(total: int, gap: int, n: int) -> int:

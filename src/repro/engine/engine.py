@@ -57,7 +57,9 @@ import numpy as np
 from ..core.forest import forest_list_scan, serial_forest_scan, wyllie_forest_scan
 from ..core.list_scan import ALGORITHMS, list_scan
 from ..core.operators import Operator, SUM
+from ..core.stats import ScanStats
 from ..lists.generate import LinkedList
+from ..trace.tracer import null_span, resolve_trace
 from .batch import DEFAULT_SIZE_CLASS_BASE, FusedBatch, shard_requests
 from .cache import ResultCache, fingerprint
 from .errors import (
@@ -96,6 +98,17 @@ class EngineStats:
     ``coalesced``
         duplicate requests in a batch served by another identical
         request's execution (the work ran exactly once).
+
+    Kernel counters
+    ---------------
+
+    ``element_ops`` / ``kernel_rounds`` / ``kernel_packs`` aggregate
+    the :class:`~repro.core.stats.ScanStats` of *successful* kernel
+    executions only.  Every execution attempt — the fused try and each
+    quarantine solo re-run — collects into a fresh ``ScanStats`` and
+    merges here only if it succeeds, so a fused attempt that dies
+    half-way through Phase 1 cannot double-count the work its members
+    then redo solo.
     """
 
     requests: int = 0
@@ -110,8 +123,18 @@ class EngineStats:
     retries: int = 0
     quarantined: int = 0
     coalesced: int = 0
+    element_ops: int = 0
+    kernel_rounds: int = 0
+    kernel_packs: int = 0
     seconds_executing: float = 0.0
     algorithms: Dict[str, int] = field(default_factory=dict)
+
+    def merge_kernel_stats(self, kstats: "ScanStats") -> None:
+        """Fold one successful attempt's kernel counters in (caller
+        holds the engine lock)."""
+        self.element_ops += kstats.element_ops
+        self.kernel_rounds += kstats.rounds
+        self.kernel_packs += kstats.packs
 
     def count_algorithm(self, name: str, lists: int = 1) -> None:
         self.algorithms[name] = self.algorithms.get(name, 0) + lists
@@ -131,6 +154,9 @@ class EngineStats:
             ["retries", self.retries],
             ["quarantined", self.quarantined],
             ["coalesced", self.coalesced],
+            ["element ops", self.element_ops],
+            ["kernel rounds", self.kernel_rounds],
+            ["kernel packs", self.kernel_packs],
             ["seconds executing", round(self.seconds_executing, 6)],
         ]
         for name in sorted(self.algorithms):
@@ -165,6 +191,15 @@ class Engine:
     seed:
         Seed for the engine's random stream (splitter choices in the
         forest kernels; results are identical for every seed).
+    trace:
+        ``None`` (default — no tracing hooks run), ``"off"`` (hooks run
+        against a disabled tracer) or a :class:`repro.trace.Tracer`.  A
+        traced engine records a ``run_batch`` span per batch with
+        admission events (``queue_wait``, ``cache_hit``/``cache_miss``,
+        ``validation_error``, ``coalesced``), per-shard spans with the
+        routing decision (including the cost model's predicted clocks
+        per candidate), the fused kernel's own phase spans, and
+        ``quarantine_retry``/``solo`` spans.  See ``docs/tracing.md``.
     """
 
     def __init__(
@@ -179,6 +214,7 @@ class Engine:
         size_class_base: float = DEFAULT_SIZE_CLASS_BASE,
         validate: str = "fast",
         seed: Optional[int] = 0,
+        trace=None,
     ) -> None:
         if validate not in VALIDATION_MODES:
             raise ValueError(
@@ -195,6 +231,7 @@ class Engine:
         self.max_workers = max_workers
         self.size_class_base = size_class_base
         self.validate = validate
+        self.trace = resolve_trace(trace)
         self.stats = EngineStats()
         self._seeds = np.random.SeedSequence(seed)
         self._lock = threading.Lock()
@@ -257,95 +294,139 @@ class Engine:
         t0 = time.perf_counter()
         n_errors = n_coalesced = n_hits = 0
 
-        misses: List[ScanRequest] = []
-        keys: Dict[int, bytes] = {}
-        primaries: Dict[bytes, int] = {}  # fingerprint -> primary request id
-        followers: Dict[int, List[ScanRequest]] = {}  # primary id -> duplicates
-        for req in requests:
-            error: Optional[RequestError] = None
-            key: Optional[bytes] = None
-            try:
-                key = fingerprint(req.lst, req.op, req.inclusive)
-            except Exception as exc:
-                error = RequestError.from_exception(
-                    exc, code="fingerprint", phase="validate"
-                )
-            if error is None:
-                hit = self.cache.get(key)
-                if hit is not None:
-                    # A hit implies a structurally identical problem was
-                    # validated and executed before; skip re-validation.
-                    n_hits += 1
-                    responses[req.request_id] = ScanResponse(
-                        request_id=req.request_id,
-                        result=hit,
-                        algorithm="cached",
-                        cached=True,
-                        n=req.n,
-                        tag=req.tag,
-                    )
-                    continue
-                error = validate_request(req, self.validate)
-            if error is not None:
-                n_errors += 1
-                responses[req.request_id] = self._failure(req, error)
-                continue
-            primary = primaries.get(key)
-            if primary is None:
-                primaries[key] = req.request_id
-                keys[req.request_id] = key
-                misses.append(req)
-            else:
-                followers.setdefault(primary, []).append(req)
-                n_coalesced += 1
-
-        shards = list(shard_requests(misses, self.size_class_base).values())
-        if parallel and len(shards) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                shard_results = list(pool.map(self._execute_shard_contained, shards))
-        else:
-            shard_results = [self._execute_shard_contained(shard) for shard in shards]
-
-        for shard, outcomes in zip(shards, shard_results):
-            for req, outcome in zip(shard, outcomes):
-                if isinstance(outcome, RequestError):
-                    n_errors += 1
-                    resp = self._failure(req, outcome)
-                else:
-                    algorithm, width, result = outcome
-                    self.cache.put(keys[req.request_id], result)
-                    resp = ScanResponse(
-                        request_id=req.request_id,
-                        result=result,
-                        algorithm=algorithm,
-                        cached=False,
-                        batch_lists=width,
-                        n=req.n,
-                        tag=req.tag,
-                    )
-                responses[req.request_id] = resp
-                for dup in followers.get(req.request_id, ()):
-                    if resp.ok:
-                        dup_resp = ScanResponse(
-                            request_id=dup.request_id,
-                            result=resp.result.copy(),
-                            algorithm=resp.algorithm,
-                            coalesced=True,
-                            batch_lists=resp.batch_lists,
-                            n=dup.n,
-                            tag=dup.tag,
+        tracer = self.trace
+        span = tracer.span if tracer is not None else null_span
+        with span(
+            "run_batch", requests=len(requests), parallel=parallel
+        ) as batch_span:
+            misses: List[ScanRequest] = []
+            keys: Dict[int, bytes] = {}
+            primaries: Dict[bytes, int] = {}  # fingerprint -> primary id
+            followers: Dict[int, List[ScanRequest]] = {}  # primary -> dups
+            with span("admit"):
+                for req in requests:
+                    if tracer is not None and req.submitted_at is not None:
+                        tracer.event(
+                            "queue_wait",
+                            request_id=req.request_id,
+                            seconds=max(0.0, t0 - req.submitted_at),
                         )
-                    else:
+                    error: Optional[RequestError] = None
+                    key: Optional[bytes] = None
+                    try:
+                        key = fingerprint(req.lst, req.op, req.inclusive)
+                    except Exception as exc:
+                        error = RequestError.from_exception(
+                            exc, code="fingerprint", phase="validate"
+                        )
+                    if error is None:
+                        hit = self.cache.get(key)
+                        if hit is not None:
+                            # A hit implies a structurally identical
+                            # problem was validated and executed before;
+                            # skip re-validation.
+                            n_hits += 1
+                            if tracer is not None:
+                                tracer.event(
+                                    "cache_hit", request_id=req.request_id
+                                )
+                            responses[req.request_id] = ScanResponse(
+                                request_id=req.request_id,
+                                result=hit,
+                                algorithm="cached",
+                                cached=True,
+                                n=req.n,
+                                tag=req.tag,
+                            )
+                            continue
+                        if tracer is not None:
+                            tracer.event(
+                                "cache_miss", request_id=req.request_id
+                            )
+                        error = validate_request(req, self.validate)
+                    if error is not None:
                         n_errors += 1
-                        dup_resp = ScanResponse(
-                            request_id=dup.request_id,
-                            coalesced=True,
-                            n=dup.n,
-                            tag=dup.tag,
-                            ok=False,
-                            error=resp.error,
+                        if tracer is not None:
+                            tracer.event(
+                                "validation_error",
+                                request_id=req.request_id,
+                                code=error.code,
+                            )
+                        responses[req.request_id] = self._failure(req, error)
+                        continue
+                    primary = primaries.get(key)
+                    if primary is None:
+                        primaries[key] = req.request_id
+                        keys[req.request_id] = key
+                        misses.append(req)
+                    else:
+                        followers.setdefault(primary, []).append(req)
+                        n_coalesced += 1
+                        if tracer is not None:
+                            tracer.event(
+                                "coalesced",
+                                request_id=req.request_id,
+                                primary=primary,
+                            )
+
+            shards = list(shard_requests(misses, self.size_class_base).values())
+            if parallel and len(shards) > 1:
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    shard_results = list(
+                        pool.map(
+                            lambda shard: self._execute_shard_contained(
+                                shard, parent=batch_span
+                            ),
+                            shards,
                         )
-                    responses[dup.request_id] = dup_resp
+                    )
+            else:
+                shard_results = [
+                    self._execute_shard_contained(shard, parent=batch_span)
+                    for shard in shards
+                ]
+
+            with span("respond"):
+                for shard, outcomes in zip(shards, shard_results):
+                    for req, outcome in zip(shard, outcomes):
+                        if isinstance(outcome, RequestError):
+                            n_errors += 1
+                            resp = self._failure(req, outcome)
+                        else:
+                            algorithm, width, result = outcome
+                            self.cache.put(keys[req.request_id], result)
+                            resp = ScanResponse(
+                                request_id=req.request_id,
+                                result=result,
+                                algorithm=algorithm,
+                                cached=False,
+                                batch_lists=width,
+                                n=req.n,
+                                tag=req.tag,
+                            )
+                        responses[req.request_id] = resp
+                        for dup in followers.get(req.request_id, ()):
+                            if resp.ok:
+                                dup_resp = ScanResponse(
+                                    request_id=dup.request_id,
+                                    result=resp.result.copy(),
+                                    algorithm=resp.algorithm,
+                                    coalesced=True,
+                                    batch_lists=resp.batch_lists,
+                                    n=dup.n,
+                                    tag=dup.tag,
+                                )
+                            else:
+                                n_errors += 1
+                                dup_resp = ScanResponse(
+                                    request_id=dup.request_id,
+                                    coalesced=True,
+                                    n=dup.n,
+                                    tag=dup.tag,
+                                    ok=False,
+                                    error=resp.error,
+                                )
+                            responses[dup.request_id] = dup_resp
 
         elapsed = time.perf_counter() - t0
         with self._lock:
@@ -430,25 +511,42 @@ class Engine:
         return np.random.default_rng(child)
 
     def _solo_scan(self, req: ScanRequest) -> Tuple[str, np.ndarray]:
-        """Run one request alone through the dispatch API."""
+        """Run one request alone through the dispatch API.
+
+        Each solo run collects its *own* fresh kernel
+        :class:`ScanStats`, merged into the engine counters only on
+        success — a quarantine re-run never inherits (or re-adds) the
+        work of the fused attempt that failed before it.
+        """
+        tracer = self.trace
+        span = tracer.span if tracer is not None else null_span
         algorithm = (
             req.algorithm
             if req.algorithm != "auto"
             else self.router.choose(req.n, 1)
         )
-        result = list_scan(
-            req.lst.copy(),
-            req.op,
-            inclusive=req.inclusive,
-            algorithm=algorithm,
-            rng=self._child_rng(),
-        )
+        kstats = ScanStats()
+        with span(
+            "solo", request_id=req.request_id, n=req.n, algorithm=algorithm
+        ):
+            result = list_scan(
+                req.lst.copy(),
+                req.op,
+                inclusive=req.inclusive,
+                algorithm=algorithm,
+                rng=self._child_rng(),
+                stats=kstats,
+                trace=tracer,
+            )
         with self._lock:
             self.stats.solo_runs += 1
             self.stats.count_algorithm(algorithm)
+            self.stats.merge_kernel_stats(kstats)
         return algorithm, result
 
-    def _execute_shard_contained(self, shard: List[ScanRequest]) -> List[_Outcome]:
+    def _execute_shard_contained(
+        self, shard: List[ScanRequest], parent=None
+    ) -> List[_Outcome]:
         """Run one shard without ever raising.
 
         Returns one outcome per request, aligned with the shard: a
@@ -457,38 +555,63 @@ class Engine:
         raises is retried once in quarantine mode — every member runs
         solo — so a single poisoned request cannot take down its
         shard-mates.
+
+        ``parent`` pins the shard's trace span under the batch span —
+        required under the thread-pool driver, where this method runs
+        on a worker thread whose span stack is empty.
         """
-        try:
-            algorithm, results = self._execute_shard(shard)
-            return [(algorithm, len(shard), result) for result in results]
-        except Exception as exc:
-            if len(shard) == 1:
-                # the fused attempt *was* the solo run; quarantine now
-                with self._lock:
-                    self.stats.quarantined += 1
-                return [
-                    RequestError.from_exception(exc, code="execution", phase="execute")
-                ]
-            with self._lock:
-                self.stats.retries += 1
-            outcomes: List[_Outcome] = []
-            for req in shard:
-                try:
-                    algorithm, result = self._solo_scan(req)
-                    outcomes.append((algorithm, 1, result))
-                except Exception as solo_exc:
+        tracer = self.trace
+        span = tracer.span if tracer is not None else null_span
+        with span(
+            "shard",
+            parent=parent,
+            lists=len(shard),
+            nodes=sum(req.n for req in shard),
+        ):
+            try:
+                algorithm, results = self._execute_shard(shard)
+                return [(algorithm, len(shard), result) for result in results]
+            except Exception as exc:
+                if len(shard) == 1:
+                    # the fused attempt *was* the solo run; quarantine now
                     with self._lock:
                         self.stats.quarantined += 1
-                    outcomes.append(
+                    return [
                         RequestError.from_exception(
-                            solo_exc, code="execution", phase="execute"
+                            exc, code="execution", phase="execute"
                         )
-                    )
-            return outcomes
+                    ]
+                with self._lock:
+                    self.stats.retries += 1
+                outcomes: List[_Outcome] = []
+                with span("quarantine_retry", lists=len(shard)):
+                    for req in shard:
+                        try:
+                            algorithm, result = self._solo_scan(req)
+                            outcomes.append((algorithm, 1, result))
+                        except Exception as solo_exc:
+                            with self._lock:
+                                self.stats.quarantined += 1
+                            outcomes.append(
+                                RequestError.from_exception(
+                                    solo_exc, code="execution", phase="execute"
+                                )
+                            )
+                return outcomes
 
     def _execute_shard(self, shard: List[ScanRequest]):
-        """Run one fusable shard; returns ``(algorithm, per-request results)``."""
+        """Run one fusable shard; returns ``(algorithm, per-request results)``.
+
+        The fused execution collects a fresh kernel
+        :class:`ScanStats` for *this attempt only*; the counters merge
+        into the engine stats after the kernel returns.  If the kernel
+        raises, the attempt's partial counters are discarded with it —
+        the quarantine solo re-runs start from zero (see
+        :meth:`_solo_scan`), so failed attempts never double-count.
+        """
         forced = shard[0].algorithm  # uniform within a shard (shard key)
+        tracer = self.trace
+        span = tracer.span if tracer is not None else null_span
 
         # unroutable forced algorithms have no forest kernel: run per list
         if forced != "auto" and forced not in CANDIDATES:
@@ -506,32 +629,61 @@ class Engine:
             if forced != "auto"
             else self.router.choose(batch.n_nodes, batch.n_lists)
         )
+        if tracer is not None:
+            predicted: Dict[str, float] = {}
+            if self.router.calibrated:
+                for candidate in self.router.candidates:
+                    predicted[candidate] = float(
+                        self.router.predicted_clocks(
+                            batch.n_nodes, candidate, batch.n_lists
+                        )
+                    )
+            tracer.event(
+                "route",
+                algorithm=algorithm,
+                forced=forced != "auto",
+                n_nodes=batch.n_nodes,
+                n_lists=batch.n_lists,
+                predicted_clocks=predicted,
+            )
+        kstats = ScanStats()
         out = np.empty_like(batch.values)
-        if algorithm == "serial":
-            serial_forest_scan(
-                batch.nxt, batch.values, batch.heads, batch.op, None, out
-            )
-            if batch.inclusive:
-                out = batch.op.combine(out, batch.values)
-        elif algorithm == "wyllie":
-            wyllie_forest_scan(
-                batch.nxt, batch.values, batch.heads, batch.op, None, out
-            )
-            if batch.inclusive:
-                out = batch.op.combine(out, batch.values)
-        else:  # "sublist" and any future routable default
-            out = forest_list_scan(
-                batch.nxt,
-                batch.values,
-                batch.heads,
-                batch.op,
-                inclusive=batch.inclusive,
-                rng=rng,
-                out=out,
-            )
+        with span(
+            "execute",
+            algorithm=algorithm,
+            lists=batch.n_lists,
+            nodes=batch.n_nodes,
+        ):
+            if algorithm == "serial":
+                serial_forest_scan(
+                    batch.nxt, batch.values, batch.heads, batch.op, None, out
+                )
+                kstats.add_work(batch.n_nodes, phase="forest_serial")
+                if batch.inclusive:
+                    out = batch.op.combine(out, batch.values)
+            elif algorithm == "wyllie":
+                wyllie_forest_scan(
+                    batch.nxt, batch.values, batch.heads, batch.op, None, out,
+                    stats=kstats,
+                )
+                if batch.inclusive:
+                    out = batch.op.combine(out, batch.values)
+            else:  # "sublist" and any future routable default
+                out = forest_list_scan(
+                    batch.nxt,
+                    batch.values,
+                    batch.heads,
+                    batch.op,
+                    inclusive=batch.inclusive,
+                    rng=rng,
+                    stats=kstats,
+                    out=out,
+                    trace=tracer,
+                )
         results = batch.unfuse(out)
         with self._lock:
             self.stats.fused_lists += batch.n_lists
             self.stats.fused_nodes += batch.n_nodes
             self.stats.count_algorithm(algorithm, batch.n_lists)
+            self.stats.merge_kernel_stats(kstats)
         return algorithm, results

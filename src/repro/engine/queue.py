@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Union
 
@@ -64,6 +65,11 @@ class ScanRequest:
         member forces that algorithm for this request.
     tag:
         Opaque caller correlation data, echoed on the response.
+
+    ``submitted_at`` is stamped (``time.perf_counter``) by
+    :meth:`SubmissionQueue.submit`; a traced engine turns it into the
+    per-request ``queue_wait`` event.  Requests handed straight to
+    ``run_batch`` without queueing keep ``None`` and record no wait.
     """
 
     lst: LinkedList
@@ -72,6 +78,7 @@ class ScanRequest:
     algorithm: str = "auto"
     tag: Optional[object] = None
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+    submitted_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.op = get_operator(self.op)
@@ -205,6 +212,7 @@ class SubmissionQueue:
                         f"queue still full after {timeout}s "
                         f"({len(self._items)} requests pending)"
                     )
+            request.submitted_at = time.perf_counter()
             self._items.append(request)
             self._nodes += request.n
             self._cond.notify_all()

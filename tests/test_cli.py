@@ -102,3 +102,54 @@ class TestCommands:
         assert (tmp_path / "figure12.csv").exists()
         header = (tmp_path / "figure12.csv").read_text().splitlines()[0]
         assert header == "s,g,is_pack_point"
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.n == 1 << 20
+        assert args.algorithm == "sublist"
+        assert not args.json and not args.engine
+        assert args.jsonl is None
+        assert args.max_events == 40
+
+    def test_trace_human_tree(self, capsys):
+        assert main(["trace", "-n", "30000"]) == 0
+        out = capsys.readouterr().out
+        for name in ("list_scan", "sublist_scan", "phase1", "phase3"):
+            assert name in out
+        assert "observed trajectory vs Section 4 model" in out
+        assert "decay-rate ratio" in out
+
+    def test_trace_json_payload(self, capsys):
+        import json
+
+        assert main(["trace", "-n", "30000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 30000
+        assert payload["compare_error"] is None
+        (root,) = payload["trace"]["roots"]
+        assert root["name"] == "list_scan"
+        compare = payload["compare"]
+        assert compare["trajectory"]["points"]
+        assert compare["schedule"]["observed_packs"] > 0
+
+    def test_trace_engine_mode(self, capsys):
+        assert main(["trace", "-n", "20000", "--engine"]) == 0
+        out = capsys.readouterr().out
+        assert "run_batch" in out
+        assert "shard" in out
+
+    def test_trace_serial_has_no_comparison(self, capsys):
+        assert main(["trace", "-n", "5000", "--algorithm", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "no model comparison" in out
+
+    def test_trace_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        assert main(["trace", "-n", "20000", "--jsonl", str(path)]) == 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows and rows[0]["name"] == "list_scan"
+        assert f"wrote {len(rows)} span(s)" in capsys.readouterr().out

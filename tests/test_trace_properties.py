@@ -1,0 +1,81 @@
+"""Property-based tests for tracing invariants (the issue's satellite).
+
+Three invariants over random lists and seeds:
+
+1. **Span containment** — with a deterministic counting clock, every
+   child span opens and closes inside its parent, and the children's
+   durations sum to no more than the parent's.
+2. **Trajectory monotonicity** — the observed live-sublist count never
+   increases across packs, and the cumulative step counter strictly
+   increases (a pack is only emitted after real traversal work).
+3. **Observational transparency** — scan results are bit-identical
+   across ``trace=None``, ``trace="off"``, and a live ``Tracer`` for
+   the same input and kernel seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sublist import sublist_list_scan
+from repro.lists.generate import random_list, random_values
+from repro.trace import Tracer, counting_clock, find_scan_span
+
+# big enough to clear the serial base case, small enough to keep
+# hypothesis example counts affordable
+sizes = st.integers(min_value=4_000, max_value=30_000)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _traced_scan(n, seed):
+    rng = np.random.default_rng(seed)
+    lst = random_list(n, rng, values=random_values(n, rng))
+    tracer = Tracer(clock=counting_clock())
+    out = sublist_list_scan(lst, "sum", trace=tracer, rng=seed)
+    return out, tracer
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, seed=seeds)
+def test_child_spans_nest_within_parent(n, seed):
+    _, tracer = _traced_scan(n, seed)
+    for root in tracer.roots:
+        for span in root.walk():
+            assert span.t1 is not None, f"{span.name} left open"
+            assert span.t1 >= span.t0
+            for child in span.children:
+                assert span.t0 < child.t0
+                assert child.t1 < span.t1
+            assert sum(c.duration for c in span.children) <= span.duration
+            for event in span.events:
+                assert span.t0 < event.t < span.t1
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, seed=seeds)
+def test_observed_live_counts_non_increasing(n, seed):
+    _, tracer = _traced_scan(n, seed)
+    scan = find_scan_span(tracer)
+    assert scan is not None
+    for phase_name in ("phase1", "phase3"):
+        phase = scan.find(phase_name)
+        assert phase is not None
+        packs = phase.events_named("pack")
+        lives = [e.attrs["live_after"] for e in packs]
+        assert lives == sorted(lives, reverse=True)
+        for e in packs:
+            assert 0 <= e.attrs["live_after"] <= e.attrs["live_before"]
+        steps = [e.attrs["step"] for e in packs]
+        assert all(a < b for a, b in zip(steps, steps[1:]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=sizes, seed=seeds)
+def test_results_bit_identical_across_trace_modes(n, seed):
+    rng = np.random.default_rng(seed)
+    lst = random_list(n, rng, values=random_values(n, rng))
+    plain = sublist_list_scan(lst.copy(), "sum", rng=seed)
+    off = sublist_list_scan(lst.copy(), "sum", rng=seed, trace="off")
+    traced = sublist_list_scan(lst.copy(), "sum", rng=seed, trace=Tracer())
+    np.testing.assert_array_equal(plain, off)
+    np.testing.assert_array_equal(plain, traced)
