@@ -9,7 +9,9 @@ isolates *batching*, not algorithm choice.
 
 Records the headline ordering claim ("batching ≥ 1× sequential on
 mixed workloads") in the harness registry, plus the cache's effect on
-a repeated workload.
+a repeated workload and the worker-scaling curves of the pooled
+execution backends (speedup vs workers for ``threads`` and
+``processes`` against the ``sync`` driver).
 """
 
 from __future__ import annotations
@@ -140,6 +142,103 @@ def test_engine_cache_repeated_workload(benchmark, smoke):
         t_cold,
         t_warm,
         note=f"{len(lists)} lists resubmitted verbatim",
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_worker_scaling(benchmark, full_sweep, smoke):
+    """Speedup-vs-workers curves for the pooled backends (paper Fig. 14).
+
+    The paper's Section 5 scales the sublist algorithm across 1–8 C-90
+    CPUs; the engine's analogue divides a batch's *shards* among
+    workers.  This records one scaling point per (executor, worker
+    count) pair against the sync driver on a cold-cache, big-list
+    workload spread over several size classes (equal sizes would fuse
+    into one shard and leave nothing to parallelize).
+
+    The issue's gate — ``processes`` at 4 workers ≥ 1.5× sync — is
+    recorded with its real threshold so the registry's ``ok`` flag
+    reports it honestly, but the hard assertion is correctness only:
+    on a CI box with few cores (or one), no executor can physically
+    reach the gate, and a capacity-dependent hard-fail would flake the
+    suite exactly like a noisy-runner timing bound (see
+    ``test_trace_off_overhead``).
+    """
+    import os
+
+    count = 10 if smoke else (48 if full_sweep else 24)
+    max_n = (1 << 11) if smoke else ((1 << 16) if full_sweep else (1 << 14))
+    lists = _mixed_workload(count, 256, max_n, seed=31)
+    total_nodes = sum(lst.n for lst in lists)
+
+    warm = _mixed_workload(4, 256, 512, seed=5)
+
+    def run(executor, workers):
+        with Engine(
+            cache_capacity=0, executor=executor, max_workers=workers, seed=9
+        ) as engine:
+            # spin the pool up (forkserver/spawn workers cold-start in
+            # ~seconds) so the curve measures steady-state serving —
+            # the regime the >= 1.5x gate is a claim about — and not
+            # one-time pool construction
+            engine.map_scan(warm, "sum", parallel=(executor != "sync"))
+            t0 = time.perf_counter()
+            results = engine.map_scan(
+                lists, "sum", parallel=(executor != "sync")
+            )
+            return time.perf_counter() - t0, results
+
+    run("sync", 1)  # warm-up (allocator, router calibration, imports)
+    t_sync, ref = benchmark.pedantic(
+        lambda: run("sync", 1), rounds=1, iterations=1
+    )
+
+    cpus = os.cpu_count() or 1
+    worker_counts = [1, 2] if smoke else sorted({1, 2, 4, cpus})
+    rows = [["sync", 1, t_sync, 1.0]]
+    gate = None
+    for executor in ("threads", "processes"):
+        for workers in worker_counts:
+            t, results = run(executor, workers)
+            for got, want in zip(results, ref):
+                np.testing.assert_array_equal(got, want)  # bit-identical
+            speedup = t_sync / t if t > 0 else float("inf")
+            rows.append([executor, workers, t, speedup])
+            # curve points are measurements, not gates: threshold 0 so
+            # only the explicit 1.5x record below carries an ok verdict
+            record_speedup(
+                "engine_scaling",
+                f"{executor} executor, {workers} worker(s) vs sync driver",
+                t_sync,
+                t,
+                threshold=0.0,
+                note=(
+                    f"{count} lists, {total_nodes:,} nodes, cold cache, "
+                    f"{cpus} cpu(s) on this host"
+                ),
+            )
+            if executor == "processes" and workers == max(worker_counts):
+                gate = (workers, t)
+    assert gate is not None
+    workers, t = gate
+    record_speedup(
+        "engine_scaling",
+        f"processes executor at {workers} workers >= 1.5x sync driver",
+        t_sync,
+        t,
+        threshold=1.5,
+        note=(
+            f"issue gate (needs >= 4 usable cores; this host has {cpus}); "
+            f"{count} lists, {total_nodes:,} nodes, cold cache"
+        ),
+    )
+    print_table(
+        ["executor", "workers", "seconds", "speedup vs sync"],
+        rows,
+        title=(
+            f"worker scaling: {count} lists, {total_nodes:,} nodes, "
+            f"{cpus} cpu(s)"
+        ),
     )
 
 

@@ -95,8 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--inclusive", action="store_true")
     p_batch.add_argument(
+        "--executor", choices=("sync", "threads", "processes"), default="threads",
+        help="execution backend: sync (no pool), threads (persistent "
+             "thread pool), or processes (persistent process pool with "
+             "shared-memory array transport)",
+    )
+    p_batch.add_argument(
         "--workers", type=int, default=1,
-        help="thread-pool width (>1 executes shards concurrently)",
+        help="worker-pool width for the threads/processes executors "
+             "(>1 executes shards concurrently)",
     )
     p_batch.add_argument(
         "--repeat", type=int, default=1,
@@ -247,20 +254,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     engine = Engine(
         cache_capacity=0 if args.no_cache else max(256, 2 * args.count),
+        executor=args.executor,
         max_workers=args.workers,
     )
-    t0 = time.perf_counter()
-    for _ in range(args.repeat):
-        responses = engine.run_batch(
-            [
-                ScanRequest(
-                    lst=lst, op=args.op, inclusive=args.inclusive, tag=i
-                )
-                for i, lst in enumerate(lists)
-            ],
-            parallel=args.workers > 1,
-        )
-    t_eng = (time.perf_counter() - t0) / args.repeat
+    with engine:
+        t0 = time.perf_counter()
+        for _ in range(args.repeat):
+            responses = engine.run_batch(
+                [
+                    ScanRequest(
+                        lst=lst, op=args.op, inclusive=args.inclusive, tag=i
+                    )
+                    for i, lst in enumerate(lists)
+                ],
+                parallel=args.workers > 1,
+            )
+        t_eng = (time.perf_counter() - t0) / args.repeat
 
     failures = [resp for resp in responses if not resp.ok]
     mismatches = sum(
@@ -289,7 +298,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ["driver", "seconds", "Mnodes/s"],
         [
             ["sequential list_scan", t_seq, total_nodes / t_seq / 1e6],
-            [f"engine ({args.workers} worker(s))", t_eng,
+            [f"engine ({args.executor}, {args.workers} worker(s))", t_eng,
              total_nodes / t_eng / 1e6],
         ],
         title=f"throughput (speedup {speedup:.2f}x)",

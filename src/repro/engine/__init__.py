@@ -20,8 +20,10 @@ Modules
 ``router``   cost-model algorithm routing (replaces the fixed
              ``_AUTO_SERIAL_BELOW`` crossover)
 ``cache``    LRU result cache keyed by a structural fingerprint
-``engine``   the :class:`Engine` facade: sync + thread-pool drivers,
-             per-batch stats
+``workers``  persistent execution backends: ``sync`` / ``threads`` /
+             ``processes`` (shared-memory array transport)
+``engine``   the :class:`Engine` facade: backend-driven shard
+             execution, per-batch stats
 
 The public surface re-exported here is loaded lazily (PEP 562) so that
 ``core.list_scan`` can import ``engine.router`` for ``auto`` routing
@@ -49,6 +51,13 @@ __all__ = [
     "FusedBatch",
     "shard_requests",
     "size_class",
+    "EXECUTORS",
+    "ExecutionBackend",
+    "SyncBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "run_fused_kernel",
 ]
 
 _EXPORTS = {
@@ -68,6 +77,13 @@ _EXPORTS = {
     "FusedBatch": ("repro.engine.batch", "FusedBatch"),
     "shard_requests": ("repro.engine.batch", "shard_requests"),
     "size_class": ("repro.engine.batch", "size_class"),
+    "EXECUTORS": ("repro.engine.workers", "EXECUTORS"),
+    "ExecutionBackend": ("repro.engine.workers", "ExecutionBackend"),
+    "SyncBackend": ("repro.engine.workers", "SyncBackend"),
+    "ThreadBackend": ("repro.engine.workers", "ThreadBackend"),
+    "ProcessBackend": ("repro.engine.workers", "ProcessBackend"),
+    "create_backend": ("repro.engine.workers", "create_backend"),
+    "run_fused_kernel": ("repro.engine.workers", "run_fused_kernel"),
 }
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
@@ -77,6 +93,15 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .errors import EngineRequestError, RequestError, validate_request
     from .queue import BackpressureError, ScanRequest, ScanResponse, SubmissionQueue
     from .router import Router, route_algorithm
+    from .workers import (
+        EXECUTORS,
+        ExecutionBackend,
+        ProcessBackend,
+        SyncBackend,
+        ThreadBackend,
+        create_backend,
+        run_fused_kernel,
+    )
 
 
 def __getattr__(name: str):

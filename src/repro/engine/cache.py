@@ -135,9 +135,20 @@ class ResultCache:
                 self.evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the hit/miss/eviction counters.
+
+        A cleared cache starts a fresh measurement epoch: post-clear
+        hit-rate reporting must not blend probes against the old
+        contents with probes against the new, so the counters reset
+        together with the entries (callers wanting cumulative numbers
+        should snapshot :meth:`stats` before clearing).
+        """
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         """Counters snapshot (hits/misses/evictions/entries/bytes)."""

@@ -33,11 +33,19 @@ Pipeline for one batch (``run_batch``)::
   return structured errors; everything else gets its result.
 * Results are unfused, cached, and returned in request order.
 
-Drivers: the sync driver executes shards one after another; the
-thread-pool driver (``parallel=True``) executes shards concurrently —
-shards share no arrays (fusion copies), so they are embarrassingly
-parallel and NumPy releases the GIL in the bulk operations.  Both
-drivers honor the containment contract.
+Drivers: shard execution goes through a persistent backend
+(``engine.workers``) chosen at construction — ``executor="sync"``
+(reference loop), ``"threads"`` (one long-lived thread pool reused
+across batches; shards share no arrays since fusion copies, and NumPy
+releases the GIL in the bulk operations) or ``"processes"`` (fused
+kernels execute in a long-lived process pool, arrays crossing through
+shared memory).  ``run_batch(parallel=None)`` resolves to whatever the
+backend supports; ``parallel=False`` forces the inline loop on any
+backend.  Every driver honors the containment contract, and a traced
+batch stays one connected span tree — worker processes ship their
+kernel spans back as serialized records that are adopted under the
+batch root.  ``Engine.close()`` (or using the engine as a context
+manager) tears the backend's pools down exactly once.
 
 Requests with a forced algorithm outside the routable set (e.g.
 ``random_mate``) cannot fuse — those run per list through the ordinary
@@ -48,17 +56,16 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.forest import forest_list_scan, serial_forest_scan, wyllie_forest_scan
 from ..core.list_scan import ALGORITHMS, list_scan
 from ..core.operators import Operator, SUM
 from ..core.stats import ScanStats
 from ..lists.generate import LinkedList
+from ..trace.export import span_from_dict
 from ..trace.tracer import null_span, resolve_trace
 from .batch import DEFAULT_SIZE_CLASS_BASE, FusedBatch, shard_requests
 from .cache import ResultCache, fingerprint
@@ -70,6 +77,7 @@ from .errors import (
 )
 from .queue import ScanRequest, ScanResponse, SubmissionQueue
 from .router import CANDIDATES, Router
+from .workers import EXECUTORS, create_backend, offloadable_operator, run_fused_kernel
 
 __all__ = ["Engine", "EngineStats"]
 
@@ -178,8 +186,17 @@ class Engine:
         (``cache_capacity=0`` disables caching).
     max_pending / max_pending_nodes:
         Submission-queue backpressure bounds (see ``engine.queue``).
+    executor:
+        Execution backend (see ``engine.workers``): ``"threads"``
+        (default — one persistent thread pool reused across batches),
+        ``"sync"`` (no pool; the reference driver), or ``"processes"``
+        (fused kernels run in a persistent process pool, with
+        shared-memory array transport).  All three return bit-identical
+        results; call :meth:`close` (or use the engine as a context
+        manager) to tear pooled backends down.
     max_workers:
-        Thread-pool width for ``parallel=True`` drivers.
+        Worker-pool width for the pooled backends (``None`` → the
+        executor's own default, ``os.cpu_count()``-based).
     size_class_base:
         Geometric growth factor between size classes.
     validate:
@@ -210,6 +227,7 @@ class Engine:
         cache_max_bytes: Optional[int] = None,
         max_pending: Optional[int] = 1024,
         max_pending_nodes: Optional[int] = None,
+        executor: str = "threads",
         max_workers: Optional[int] = None,
         size_class_base: float = DEFAULT_SIZE_CLASS_BASE,
         validate: str = "fast",
@@ -221,6 +239,10 @@ class Engine:
                 f"unknown validation mode {validate!r}; expected one of "
                 f"{VALIDATION_MODES}"
             )
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
         self.router = router if router is not None else Router()
         self.cache = (
             cache
@@ -228,7 +250,9 @@ class Engine:
             else ResultCache(cache_capacity, cache_max_bytes)
         )
         self.queue = SubmissionQueue(max_pending, max_pending_nodes)
+        self.executor = executor
         self.max_workers = max_workers
+        self._backend = create_backend(executor, max_workers)
         self.size_class_base = size_class_base
         self.validate = validate
         self.trace = resolve_trace(trace)
@@ -267,9 +291,34 @@ class Engine:
         )
         return self.queue.submit(request, block=block, timeout=timeout)
 
-    def flush(self, parallel: bool = False) -> List[ScanResponse]:
-        """Drain the submission queue and execute everything as one batch."""
+    def flush(self, parallel: Optional[bool] = None) -> List[ScanResponse]:
+        """Drain the submission queue and execute everything as one batch.
+
+        ``parallel`` defaults to whatever the configured executor
+        supports (see :meth:`run_batch`).
+        """
         return self.run_batch(self.queue.drain(), parallel=parallel)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the execution backend's worker pools.
+
+        Idempotent — calling it again (or exiting the context manager
+        after an explicit close) is a no-op.  A closed engine rejects
+        further pooled dispatch; single-shard batches still execute
+        inline.
+        """
+        self._backend.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # drivers
@@ -278,21 +327,30 @@ class Engine:
     def run_batch(
         self,
         requests: Sequence[ScanRequest],
-        parallel: bool = False,
+        parallel: Optional[bool] = None,
     ) -> List[ScanResponse]:
         """Execute a batch of requests; responses come back in request
-        order.  ``parallel=True`` runs independent shards on a thread
-        pool (the sync driver otherwise).
+        order.
+
+        ``parallel`` controls the shard driver: ``True`` runs
+        independent shards concurrently on the configured backend's
+        persistent pool, ``False`` runs them in an inline loop, and
+        ``None`` (default) resolves to whatever the backend supports —
+        concurrent for ``threads``/``processes``, inline for ``sync``.
+        Results and stats are identical either way.
 
         Never raises for a single bad request: validation and execution
         failures come back as ``ok=False`` responses with a structured
         :class:`~repro.engine.errors.RequestError` while every healthy
         request still gets its result.
         """
+        if parallel is None:
+            parallel = self._backend.concurrent
+        parallel = bool(parallel)
         requests = list(requests)
         responses: Dict[int, ScanResponse] = {}
         t0 = time.perf_counter()
-        n_errors = n_coalesced = n_hits = 0
+        n_errors = n_coalesced = n_hits = n_misses = 0
 
         tracer = self.trace
         span = tracer.span if tracer is not None else null_span
@@ -339,6 +397,10 @@ class Engine:
                                 tag=req.tag,
                             )
                             continue
+                        # counted at the probe site: only requests that
+                        # actually reached the cache can miss it —
+                        # fingerprint failures above never probe.
+                        n_misses += 1
                         if tracer is not None:
                             tracer.event(
                                 "cache_miss", request_id=req.request_id
@@ -370,16 +432,15 @@ class Engine:
                             )
 
             shards = list(shard_requests(misses, self.size_class_base).values())
-            if parallel and len(shards) > 1:
-                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    shard_results = list(
-                        pool.map(
-                            lambda shard: self._execute_shard_contained(
-                                shard, parent=batch_span
-                            ),
-                            shards,
-                        )
-                    )
+            if parallel:
+                # the backend's persistent pool (lazily created on the
+                # first multi-shard batch, reused for every one after)
+                shard_results = self._backend.map_shards(
+                    lambda shard: self._execute_shard_contained(
+                        shard, parent=batch_span
+                    ),
+                    shards,
+                )
             else:
                 shard_results = [
                     self._execute_shard_contained(shard, parent=batch_span)
@@ -434,7 +495,7 @@ class Engine:
             self.stats.batches += 1
             self.stats.shards += len(shards)
             self.stats.cache_hits += n_hits
-            self.stats.cache_misses += len(requests) - n_hits
+            self.stats.cache_misses += n_misses
             self.stats.errors += n_errors
             self.stats.coalesced += n_coalesced
             self.stats.seconds_executing += elapsed
@@ -474,7 +535,7 @@ class Engine:
         op: Union[Operator, str] = SUM,
         inclusive: bool = False,
         algorithm: str = "auto",
-        parallel: bool = False,
+        parallel: Optional[bool] = None,
     ) -> List[np.ndarray]:
         """Scan many lists; returns results in input order.
 
@@ -647,38 +708,52 @@ class Engine:
                 predicted_clocks=predicted,
             )
         kstats = ScanStats()
-        out = np.empty_like(batch.values)
+        backend = self._backend
+        # a kernel leaves this process only when the worker can
+        # rehydrate the operator faithfully from its name; custom
+        # operators (and the sync/threads backends) execute inline.
+        offload = backend.offloads_kernels and offloadable_operator(batch.op)
+        traced = tracer is not None and tracer.enabled
         with span(
             "execute",
             algorithm=algorithm,
             lists=batch.n_lists,
             nodes=batch.n_nodes,
-        ):
-            if algorithm == "serial":
-                serial_forest_scan(
-                    batch.nxt, batch.values, batch.heads, batch.op, None, out
+        ) as exec_span:
+            if offload:
+                # randomness crosses as a seed drawn from this shard's
+                # generator; trace spans come back as serialized
+                # records and are adopted under the execute span, so
+                # the batch tree stays connected across processes.
+                seed = int(rng.integers(0, 2**63))
+                out, kstats, worker_spans = backend.run_fused(
+                    batch.nxt,
+                    batch.values,
+                    batch.heads,
+                    batch.op.name,
+                    batch.inclusive,
+                    algorithm,
+                    seed,
+                    traced,
                 )
-                kstats.add_work(batch.n_nodes, phase="forest_serial")
-                if batch.inclusive:
-                    out = batch.op.combine(out, batch.values)
-            elif algorithm == "wyllie":
-                wyllie_forest_scan(
-                    batch.nxt, batch.values, batch.heads, batch.op, None, out,
-                    stats=kstats,
-                )
-                if batch.inclusive:
-                    out = batch.op.combine(out, batch.values)
-            else:  # "sublist" and any future routable default
-                out = forest_list_scan(
+                if traced and worker_spans:
+                    tracer.adopt(
+                        [span_from_dict(rec) for rec in worker_spans],
+                        parent=exec_span,
+                    )
+            else:
+                out = np.empty_like(batch.values)
+                run_fused_kernel(
                     batch.nxt,
                     batch.values,
                     batch.heads,
                     batch.op,
-                    inclusive=batch.inclusive,
-                    rng=rng,
-                    stats=kstats,
-                    out=out,
-                    trace=tracer,
+                    batch.inclusive,
+                    algorithm,
+                    rng,
+                    kstats,
+                    out,
+                    tracer,
                 )
         results = batch.unfuse(out)
         with self._lock:

@@ -1,0 +1,561 @@
+"""Persistent execution backends: ``sync``, ``threads``, ``processes``.
+
+The paper scales the sublist algorithm across 1–8 C-90 CPUs by
+dividing the virtual processors among physical ones (Section 5); the
+serving engine mirrors that by dividing *shards* among workers.  PR 1
+did this with a throwaway ``ThreadPoolExecutor`` built inside every
+``run_batch`` call — pool construction churn on the hot path, and no
+way past the GIL for kernels that stay in Python.  This module gives
+the engine a real backend, chosen by ``Engine(executor=...)``:
+
+``sync``
+    No pool.  Shards execute one after another on the calling thread —
+    the reference driver everything else must match bit for bit.
+``threads``
+    One long-lived, lazily-created ``ThreadPoolExecutor`` reused across
+    batches.  Shards run concurrently on it; NumPy releases the GIL in
+    the bulk operations, so large fused kernels overlap.
+``processes``
+    A long-lived ``ProcessPoolExecutor`` plus a same-width driver
+    thread pool.  The driver threads run the engine's containment
+    wrappers (retry/quarantine bookkeeping stays in the parent, under
+    the parent's locks); the fused *kernels* execute in worker
+    processes.  The concatenated successor/value arrays cross the
+    process boundary through ``multiprocessing.shared_memory`` — the
+    parent copies each fused array into a segment, the worker maps it
+    by name, and the result comes back through a third segment — so no
+    O(n) payload is ever pickled.  Tiny shards (below
+    :data:`SHM_MIN_BYTES`) skip the segment setup and ship inline.
+    Workers start via ``forkserver``/``spawn``, never ``fork`` — the
+    pool is driven from threads, and fork-under-threads deadlocks
+    (see :func:`_pool_mp_context`).
+
+Fault containment is unchanged: a worker that raises surfaces the
+exception through its future, the engine's quarantine retry runs the
+shard's members solo in the parent, and a crashed worker (a
+``BrokenProcessPool``) additionally drops the pool so the next batch
+gets a fresh one.  Tracing is unchanged too: workers record kernel
+spans with their own tracer and return them as serialized records; the
+engine adopts them under the batch root (``Tracer.adopt``), so a
+traced batch is one connected tree no matter where it ran.
+
+All backends are lazy (no pool exists until the first dispatch that
+needs one) and idempotently closable (``Engine.close()`` / the engine
+context manager tear workers down exactly once).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.forest import forest_list_scan, serial_forest_scan, wyllie_forest_scan
+from ..core.operators import BUILTIN_OPERATORS, Operator, get_operator
+from ..core.stats import ScanStats
+from ..trace.tracer import Tracer
+
+__all__ = [
+    "EXECUTORS",
+    "SHM_MIN_BYTES",
+    "ExecutionBackend",
+    "SyncBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "run_fused_kernel",
+]
+
+#: Accepted values for ``Engine(executor=...)``.
+EXECUTORS = ("sync", "threads", "processes")
+
+#: Fused arrays at least this large travel to worker processes through
+#: ``multiprocessing.shared_memory``; smaller ones ship inline (pickled
+#: with the task), where segment setup would cost more than the copy.
+SHM_MIN_BYTES = 1 << 15
+
+
+def run_fused_kernel(
+    nxt: np.ndarray,
+    values: np.ndarray,
+    heads: np.ndarray,
+    op: Operator,
+    inclusive: bool,
+    algorithm: str,
+    rng: np.random.Generator,
+    kstats: ScanStats,
+    out: np.ndarray,
+    tracer: Optional[Tracer] = None,
+) -> np.ndarray:
+    """Execute one fused forest problem with the routed algorithm.
+
+    This is the single kernel dispatch shared by every driver: the
+    engine calls it inline (``sync``/``threads``, and any shard the
+    process driver cannot ship), and :func:`_run_fused_task` calls it
+    inside a worker process.  ``out`` is filled in place; the return
+    value is always ``out``.
+    """
+    if algorithm == "serial":
+        serial_forest_scan(nxt, values, heads, op, None, out)
+        kstats.add_work(nxt.shape[0], phase="forest_serial")
+        if inclusive:
+            out[...] = op.combine(out, values)
+    elif algorithm == "wyllie":
+        wyllie_forest_scan(nxt, values, heads, op, None, out, stats=kstats)
+        if inclusive:
+            out[...] = op.combine(out, values)
+    else:  # "sublist" and any future routable default
+        res = forest_list_scan(
+            nxt,
+            values,
+            heads,
+            op,
+            inclusive=inclusive,
+            rng=rng,
+            stats=kstats,
+            out=out,
+            trace=tracer,
+        )
+        if res is not out:
+            # inclusive scans come back as a fresh array (the kernel
+            # combines out-of-place); fold it into the caller's buffer
+            # so shared-memory output slots see the final result
+            out[...] = res
+    return out
+
+
+# ----------------------------------------------------------------------
+# shared-memory transport
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ArrayRef:
+    """One array crossing the process boundary.
+
+    ``shm_name`` set → the bytes live in a named shared-memory segment
+    (created and later unlinked by the parent; the worker only maps
+    and closes it).  ``shm_name`` ``None`` → ``inline`` carries the
+    array by value (or, for the output slot, nothing: the worker
+    returns the result in its payload).
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str
+    shm_name: Optional[str] = None
+    inline: Optional[np.ndarray] = None
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _export_array(arr: np.ndarray, leases: List[Any], min_bytes: int) -> _ArrayRef:
+    """Ship ``arr`` to a worker: shared memory above ``min_bytes``,
+    inline below.  Created segments are appended to ``leases`` — the
+    parent owns them and must close+unlink after the task completes
+    (crash or not)."""
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    if arr.nbytes < min_bytes:
+        return _ArrayRef(shape=arr.shape, dtype=arr.dtype.str, inline=arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    leases.append(shm)
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    del view
+    return _ArrayRef(shape=arr.shape, dtype=arr.dtype.str, shm_name=shm.name)
+
+
+def _alloc_out(
+    shape: Tuple[int, ...], dtype: np.dtype, leases: List[Any], min_bytes: int
+) -> _ArrayRef:
+    """Allocate the result slot: a shared segment the worker writes
+    into, or (small results) nothing — the worker returns the array."""
+    from multiprocessing import shared_memory
+
+    ref = _ArrayRef(shape=tuple(shape), dtype=np.dtype(dtype).str)
+    if ref.nbytes >= min_bytes:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, ref.nbytes))
+        leases.append(shm)
+        ref.shm_name = shm.name
+    return ref
+
+
+def _attach_array(ref: _ArrayRef, holds: List[Any]) -> np.ndarray:
+    """Worker side of :class:`_ArrayRef`: map the segment (tracking the
+    mapping in ``holds`` for cleanup) or take the inline array."""
+    if ref.shm_name is None:
+        if ref.inline is None:
+            return np.empty(ref.shape, dtype=np.dtype(ref.dtype))
+        return ref.inline
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=ref.shm_name)
+    holds.append(shm)
+    return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+
+def _release(segments: List[Any], unlink: bool) -> None:
+    for shm in segments:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        else:
+            # Attach-side release (worker): attaching re-registered the
+            # segment with this process's resource tracker (CPython
+            # gh-82300), but the *parent* owns unlink — deregister so
+            # the tracker doesn't warn about (and double-free) segments
+            # the parent already cleaned up.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(
+                    getattr(shm, "_name", shm.name), "shared_memory"
+                )
+            except Exception:  # pragma: no cover - best-effort hygiene
+                pass
+
+
+def _pool_mp_context():
+    """Start method for the worker pool — anything but ``fork``.
+
+    Pool workers are created lazily from the engine's *driver threads*,
+    and ``fork`` from a multi-threaded process can copy another
+    thread's held lock (allocator, queue feeder) into the child, which
+    then deadlocks before it ever runs a task — observed as a hard
+    engine hang under ``--executor processes --workers 4``.
+    ``forkserver`` forks from a clean single-threaded server process
+    instead (preloaded with this module so per-worker startup stays
+    cheap); ``spawn`` is the portable fallback.
+    """
+    import multiprocessing as mp
+
+    if "forkserver" in mp.get_all_start_methods():
+        ctx = mp.get_context("forkserver")
+        ctx.set_forkserver_preload(["repro.engine.workers"])
+        return ctx
+    return mp.get_context("spawn")  # pragma: no cover - non-POSIX hosts
+
+
+@dataclass
+class _FusedTask:
+    """Everything a worker process needs to run one fused shard.
+
+    Only plain data crosses: the operator travels *by name* (resolved
+    against the builtin table in the worker — the engine ships a shard
+    here only when the name round-trips to the identical operator),
+    randomness as an integer seed, tracing as a bool.
+    """
+
+    nxt: _ArrayRef
+    values: _ArrayRef
+    out: _ArrayRef
+    heads: np.ndarray
+    op_name: str
+    inclusive: bool
+    algorithm: str
+    seed: int
+    traced: bool
+
+
+def _run_fused_task(
+    task: _FusedTask,
+) -> Tuple[ScanStats, List[Dict[str, Any]], Optional[np.ndarray]]:
+    """Worker-process entry point: map, execute, write back.
+
+    Returns ``(kernel stats, serialized kernel spans, payload)`` where
+    ``payload`` is the result array when the output slot was inline and
+    ``None`` when it was written into the shared segment.  Exceptions
+    propagate through the future — containment lives in the parent.
+    """
+    from ..trace.export import span_to_dict
+
+    holds: List[Any] = []
+    nxt = values = out = None
+    try:
+        nxt = _attach_array(task.nxt, holds)
+        values = _attach_array(task.values, holds)
+        out = _attach_array(task.out, holds)
+        op = get_operator(task.op_name)
+        tracer = Tracer() if task.traced else None
+        kstats = ScanStats()
+        rng = np.random.default_rng(task.seed)
+        run_fused_kernel(
+            nxt,
+            values,
+            task.heads,
+            op,
+            task.inclusive,
+            task.algorithm,
+            rng,
+            kstats,
+            out,
+            tracer,
+        )
+        spans = [span_to_dict(root) for root in tracer.roots] if tracer else []
+        payload = out if task.out.shm_name is None else None
+        if payload is not None and payload.base is not None:
+            payload = payload.copy()
+        return kstats, spans, payload
+    finally:
+        # numpy views into the mappings must die before close()
+        del nxt, values, out
+        _release(holds, unlink=False)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Driver interface the engine talks to.
+
+    ``map_shards`` runs the engine's containment wrapper over every
+    shard (concurrently on pooled backends); ``run_fused`` — only on
+    backends with ``offloads_kernels`` — executes one fused kernel off
+    the engine process.  Pools are created lazily and torn down exactly
+    once by :meth:`close` (idempotent; ``pools_created`` /
+    ``closes_effective`` expose the lifecycle for tests).
+    """
+
+    name = "sync"
+    #: shards may execute concurrently when the caller asks for it
+    concurrent = False
+    #: fused kernels execute outside the engine process
+    offloads_kernels = False
+
+    def __init__(self) -> None:
+        self.pools_created = 0
+        self.closes_effective = 0
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> List[Any]:
+        return [fn(shard) for shard in shards]
+
+    def run_fused(
+        self,
+        nxt: np.ndarray,
+        values: np.ndarray,
+        heads: np.ndarray,
+        op_name: str,
+        inclusive: bool,
+        algorithm: str,
+        seed: int,
+        traced: bool,
+    ) -> Tuple[np.ndarray, ScanStats, List[Dict[str, Any]]]:
+        raise NotImplementedError(f"{self.name!r} backend executes kernels inline")
+
+    def close(self) -> None:
+        """Tear down worker pools; safe to call any number of times."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.closes_effective += 1
+        self._shutdown()
+
+    def _shutdown(self) -> None:  # pragma: no cover - overridden where pools exist
+        pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"{self.name!r} execution backend is closed "
+                "(Engine.close() already tore its workers down)"
+            )
+
+
+class SyncBackend(ExecutionBackend):
+    """No pool: the reference driver.  ``map_shards`` is a plain loop
+    even when the caller requested concurrency."""
+
+    name = "sync"
+
+
+class ThreadBackend(ExecutionBackend):
+    """One persistent, lazily-created thread pool shared by every batch."""
+
+    name = "threads"
+    concurrent = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            self._check_open()
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+                self.pools_created += 1
+            return self._pool
+
+    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> List[Any]:
+        if len(shards) <= 1:
+            return [fn(shard) for shard in shards]
+        return list(self._ensure_pool().map(fn, shards))
+
+    def _shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent process pool with shared-memory array transport.
+
+    Two pools, one width: the driver *thread* pool runs the engine's
+    per-shard containment wrappers (so retry/quarantine and stats
+    mutation stay in the parent process), and each wrapper ships its
+    fused kernel to the *process* pool through :class:`_FusedTask`.
+    A ``BrokenProcessPool`` (worker killed mid-task) drops the process
+    pool — the failing shard quarantines like any other execution
+    failure and the next dispatch gets a fresh pool.
+    """
+
+    name = "processes"
+    concurrent = True
+    offloads_kernels = True
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        shm_min_bytes: int = SHM_MIN_BYTES,
+    ) -> None:
+        super().__init__()
+        import os
+
+        self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        self.shm_min_bytes = int(shm_min_bytes)
+        self.tasks_offloaded = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._driver: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            self._check_open()
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=_pool_mp_context()
+                )
+                self.pools_created += 1
+            return self._pool
+
+    def _ensure_driver(self) -> ThreadPoolExecutor:
+        with self._lock:
+            self._check_open()
+            if self._driver is None:
+                self._driver = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine-driver",
+                )
+            return self._driver
+
+    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> List[Any]:
+        if len(shards) <= 1:
+            return [fn(shard) for shard in shards]
+        return list(self._ensure_driver().map(fn, shards))
+
+    def run_fused(
+        self,
+        nxt: np.ndarray,
+        values: np.ndarray,
+        heads: np.ndarray,
+        op_name: str,
+        inclusive: bool,
+        algorithm: str,
+        seed: int,
+        traced: bool,
+    ) -> Tuple[np.ndarray, ScanStats, List[Dict[str, Any]]]:
+        """Execute one fused kernel in a worker process.
+
+        The parent owns every shared segment: they are created here,
+        and closed+unlinked here on every path (including worker
+        crashes), so a poisoned shard cannot leak ``/dev/shm`` space.
+        """
+        pool = self._ensure_pool()
+        leases: List[Any] = []
+        try:
+            task = _FusedTask(
+                nxt=_export_array(nxt, leases, self.shm_min_bytes),
+                values=_export_array(values, leases, self.shm_min_bytes),
+                out=_alloc_out(values.shape, values.dtype, leases, self.shm_min_bytes),
+                heads=np.ascontiguousarray(heads),
+                op_name=op_name,
+                inclusive=bool(inclusive),
+                algorithm=algorithm,
+                seed=int(seed),
+                traced=bool(traced),
+            )
+            with self._lock:
+                self.tasks_offloaded += 1
+            try:
+                kstats, spans, payload = pool.submit(_run_fused_task, task).result()
+            except BrokenProcessPool:
+                # the pool is unusable; drop it so the next dispatch
+                # builds a fresh one, and let containment quarantine
+                # this shard like any other execution failure
+                with self._lock:
+                    broken, self._pool = self._pool, None
+                if broken is not None:
+                    broken.shutdown(wait=False, cancel_futures=True)
+                raise
+            if payload is not None:
+                out = np.asarray(payload)
+            else:
+                out_shm = leases[-1]  # the _alloc_out segment
+                view = np.ndarray(
+                    task.out.shape, dtype=np.dtype(task.out.dtype), buffer=out_shm.buf
+                )
+                out = view.copy()
+                del view
+            return out, kstats, spans
+        finally:
+            _release(leases, unlink=True)
+
+    def _shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        driver, self._driver = self._driver, None
+        if driver is not None:
+            driver.shutdown(wait=True)
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def offloadable_operator(op: Operator) -> bool:
+    """True when ``op`` round-trips through its name to the *identical*
+    builtin operator — the only case a worker process can rehydrate it
+    faithfully.  A custom operator (even one shadowing a builtin name)
+    executes inline instead."""
+    return BUILTIN_OPERATORS.get(op.name) is op
+
+
+def create_backend(executor: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build the backend for ``Engine(executor=...)``."""
+    if executor == "sync":
+        return SyncBackend()
+    if executor == "threads":
+        return ThreadBackend(max_workers)
+    if executor == "processes":
+        return ProcessBackend(max_workers)
+    raise ValueError(
+        f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+    )

@@ -219,6 +219,27 @@ class TestStats:
         table = format_table(["counter", "value"], engine.stats.as_rows())
         assert "requests" in table and "fused lists" in table
 
+    def test_fingerprint_failure_is_not_a_cache_miss(self):
+        # regression: requests whose fingerprint raises never probe the
+        # cache, so they must not inflate cache_misses (the old code
+        # derived misses as len(requests) - hits)
+        rng = np.random.default_rng(5)
+        good = random_list(40, rng, values=random_values(40, rng))
+        bad = random_list(8, rng)
+        bad.values = np.array([object()] * 8, dtype=object)  # unfingerprintable
+        engine = Engine()
+        responses = engine.run_batch(
+            [ScanRequest(lst=good), ScanRequest(lst=bad)]
+        )
+        assert [r.ok for r in responses] == [True, False]
+        assert responses[1].error.code == "fingerprint"
+        assert engine.stats.cache_misses == 1  # only the good request probed
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.errors == 1
+        # and the engine's counters agree with the cache's own probes
+        assert engine.stats.cache_misses == engine.cache.stats()["misses"]
+        assert engine.stats.cache_hits == engine.cache.stats()["hits"]
+
 
 @st.composite
 def batch_shapes(draw):
@@ -246,3 +267,35 @@ class TestPropertyEquivalence:
         for lst, got in zip(lists, results):
             ref = serial_list_scan(lst, op, inclusive=inclusive)
             np.testing.assert_array_equal(got, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=batch_shapes(),
+        dup_every=st.integers(min_value=2, max_value=5),
+        repeats=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_engine_stats_reconcile_with_cache_stats(
+        self, sizes, dup_every, repeats, seed
+    ):
+        # reconciliation property: on every workload — duplicates that
+        # coalesce, resubmissions that hit the cache — the engine's
+        # hit/miss counters equal the cache's own probe accounting, and
+        # probes partition the fingerprintable requests
+        rng = np.random.default_rng(seed)
+        lists = [
+            random_list(n, rng, values=random_values(n, rng)) for n in sizes
+        ]
+        engine = Engine(seed=seed)
+        for _ in range(repeats):
+            reqs = []
+            for i, lst in enumerate(lists):
+                reqs.append(ScanRequest(lst=lst))
+                if i % dup_every == 0:  # in-batch duplicate
+                    reqs.append(ScanRequest(lst=lst.copy()))
+            engine.run_batch(reqs)
+        s = engine.stats
+        cache_stats = engine.cache.stats()
+        assert s.cache_hits == cache_stats["hits"]
+        assert s.cache_misses == cache_stats["misses"]
+        assert s.cache_hits + s.cache_misses == s.requests

@@ -122,6 +122,26 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.stored_bytes == 0
 
+    def test_clear_resets_counters(self):
+        # post-clear hit-rate reporting must start a fresh epoch: stale
+        # hit/miss/eviction counters would blend probes against the old
+        # contents into the new measurement
+        cache = ResultCache(capacity=1)
+        cache.put(b"a", np.zeros(3))
+        cache.get(b"a")  # hit
+        cache.get(b"b")  # miss
+        cache.put(b"b", np.zeros(3))  # evicts a
+        before = cache.stats()
+        assert (before["hits"], before["misses"], before["evictions"]) == (1, 1, 1)
+        cache.clear()
+        after = cache.stats()
+        assert after == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0, "bytes": 0,
+        }
+        # and the fresh epoch counts from zero
+        cache.get(b"a")
+        assert cache.stats()["misses"] == 1
+
     def test_invalid_params_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(capacity=-1)
