@@ -21,7 +21,6 @@ Figure 11.
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
 
 import numpy as np
 
@@ -39,8 +38,8 @@ __all__ = [
 
 
 def expected_live_sublists(
-    s: Union[float, np.ndarray], n: int, m: int
-) -> Union[float, np.ndarray]:
+    s: float | np.ndarray, n: int, m: int
+) -> float | np.ndarray:
     """``g(s) = m·e^(−m·s/n)`` — expected sublists still active after ``s``
     traversal steps (paper Eq. 2, the dotted curve of Figure 12)."""
     s = np.asarray(s, dtype=np.float64)
@@ -49,8 +48,8 @@ def expected_live_sublists(
 
 
 def live_sublists_derivative(
-    s: Union[float, np.ndarray], n: int, m: int
-) -> Union[float, np.ndarray]:
+    s: float | np.ndarray, n: int, m: int
+) -> float | np.ndarray:
     """``g'(s) = −(m²/n)·e^(−m·s/n)`` — the slope used by Eq. 5/6."""
     s = np.asarray(s, dtype=np.float64)
     out = -(m * m / n) * np.exp(-m * s / n)
@@ -58,8 +57,8 @@ def live_sublists_derivative(
 
 
 def prob_length_exceeds(
-    x: Union[float, np.ndarray], n: int, m: int
-) -> Union[float, np.ndarray]:
+    x: float | np.ndarray, n: int, m: int
+) -> float | np.ndarray:
     """``P{L > x} ≈ e^(−m·x/n)`` for a single sublist length ``L``."""
     x = np.asarray(x, dtype=np.float64)
     out = np.exp(-m * x / n)
@@ -67,8 +66,8 @@ def prob_length_exceeds(
 
 
 def expected_order_stat(
-    i: Union[int, np.ndarray], n: int, m: int
-) -> Union[float, np.ndarray]:
+    i: int | np.ndarray, n: int, m: int
+) -> float | np.ndarray:
     """Expected length of the ``i``-th shortest of ``m + 1`` sublists.
 
     Sets the exponential tail probability to ``(m − i + 1.5)/(m + 1)``
@@ -96,7 +95,7 @@ def expected_longest(n: int, m: int) -> float:
     return (n / m) * math.log(2.0 * (m + 1))
 
 
-def gamma_tail(k: int, t: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+def gamma_tail(k: int, t: float | np.ndarray) -> float | np.ndarray:
     """``P{X₍ₖ₎ > t/m·(n)} → e^(−t) Σ_{j<k} t^j/j!`` (paper Lemma 5).
 
     The tail of the gamma(k) distribution: the probability that the sum
@@ -118,7 +117,7 @@ def gamma_tail(k: int, t: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
 def sample_sublist_lengths(
     n: int,
     m: int,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """Draw one sample of the ``m + 1`` sublist lengths.
 
@@ -141,7 +140,7 @@ def empirical_order_stats(
     n: int,
     m: int,
     samples: int = 20,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> dict:
     """Observed order statistics of sublist lengths (Figure 11's data).
 

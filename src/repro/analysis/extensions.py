@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
-from typing import Optional
 
 import numpy as np
 
@@ -128,7 +127,7 @@ def reconnect_cost(
 def early_reconnect_advantage(
     n: int,
     m: int,
-    switch_live: Optional[int] = None,
+    switch_live: int | None = None,
     costs: KernelCosts = PAPER_C90_COSTS,
 ) -> float:
     """``tail_cost / reconnect_cost`` — > 1 when switching pays off.

@@ -18,7 +18,7 @@ measurements, reproducing the paper's predicted-vs-measured figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.schedule import optimal_schedule
 from ..core.tuning import SERIAL_CUTOFF, WYLLIE_CUTOFF, tuned_parameters
@@ -57,8 +57,8 @@ def predict_run(
     n: int,
     costs: KernelCosts = PAPER_C90_COSTS,
     n_processors: int = 1,
-    m: Optional[int] = None,
-    s1: Optional[float] = None,
+    m: int | None = None,
+    s1: float | None = None,
 ) -> Prediction:
     """Expected run time of the sublist algorithm for one (n, p)."""
     if m is None or s1 is None:

@@ -21,7 +21,6 @@ and an integration test of the whole stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
 import numpy as np
 
@@ -50,7 +49,7 @@ class EulerTour:
 
 
 def random_parent_tree(
-    n: int, rng: Optional[Union[np.random.Generator, int]] = None
+    n: int, rng: np.random.Generator | int | None = None
 ) -> np.ndarray:
     """A random recursive tree: vertex v > 0 attaches to a uniform
     earlier vertex.  ``parent[0] == 0`` marks the root."""
@@ -136,7 +135,7 @@ def tree_measures(
     parent: np.ndarray,
     root: int = 0,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> dict:
     """Depth, preorder, postorder and subtree size for every vertex,
     computed with list ranking / list scan over the Euler tour.

@@ -14,7 +14,6 @@ one item's weight.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -29,7 +28,7 @@ def partition_list(
     lst: LinkedList,
     n_processors: int,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """Assign each node to one of ``n_processors`` balanced chunks.
 

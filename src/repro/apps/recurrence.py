@@ -13,7 +13,6 @@ required.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -27,7 +26,7 @@ __all__ = ["solve_linear_recurrence", "recurrence_list"]
 def recurrence_list(
     a: np.ndarray,
     b: np.ndarray,
-    order: Optional[np.ndarray] = None,
+    order: np.ndarray | None = None,
 ) -> LinkedList:
     """Package coefficient sequences into a linked list.
 
@@ -54,7 +53,7 @@ def solve_linear_recurrence(
     lst: LinkedList,
     x0: float = 0.0,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """Solve ``x_{k+1} = a_k·x_k + b_k`` along the list.
 

@@ -9,7 +9,6 @@ scan that the tests cross-check against the direct algorithms.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -24,7 +23,7 @@ __all__ = ["list_to_array", "scan_via_reorder"]
 def list_to_array(
     lst: LinkedList,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> dict:
     """Reorder a linked list into a dense array.
 
@@ -39,10 +38,10 @@ def list_to_array(
 
 def scan_via_reorder(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """List scan by rank → reorder → array scan → scatter back.
 

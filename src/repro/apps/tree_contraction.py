@@ -24,7 +24,6 @@ sequential, mirroring the paper's data-parallel style.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -107,7 +106,7 @@ class ExpressionTree:
 
 def random_expression_tree(
     n_leaves: int,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
     value_low: float = -3.0,
     value_high: float = 3.0,
 ) -> ExpressionTree:
@@ -138,7 +137,7 @@ def random_expression_tree(
 def evaluate_expression_tree(
     tree: ExpressionTree,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> float:
     """Evaluate the expression tree by parallel rake contraction.
 

@@ -30,7 +30,6 @@ proportion (≥ 1/4) of the processors remove nodes on each round."
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,11 +46,11 @@ _SERIAL_SWITCH = 4
 
 def anderson_miller_list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    block_size: Optional[int] = None,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
+    block_size: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """Exclusive (or inclusive) list scan by queued splice-out.
 
@@ -86,7 +85,7 @@ def anderson_miller_list_scan(
     active = cursor < limit
     cursor, limit = cursor[active], limit[active]
 
-    rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    rounds: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     heads_up = np.zeros(n, dtype=bool)  # is node a current node with coin=H?
     while cursor.size:
         k = cursor.size
@@ -141,7 +140,7 @@ def anderson_miller_list_scan(
 
 def _advance(
     cursor: np.ndarray, limit: np.ndarray, head: int, tail: int
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Skip queue positions holding the head or tail anchor (those nodes
     are never spliced; at most two skips ever happen in total)."""
     for _ in range(2):
@@ -155,8 +154,8 @@ def _advance(
 
 def anderson_miller_list_rank(
     lst: LinkedList,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """List ranking via Anderson/Miller (scan of ones under ``+``)."""
     ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))

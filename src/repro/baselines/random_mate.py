@@ -26,7 +26,6 @@ it an order of magnitude slower than the sublist algorithm.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,10 +42,10 @@ _SERIAL_SWITCH = 4
 
 def random_mate_list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """Exclusive (or inclusive) list scan by random-mate contraction."""
     op = get_operator(op)
@@ -67,7 +66,7 @@ def random_mate_list_scan(
         stats.alloc(3 * n)  # nxt copy + val copy + live index vector
 
     # contraction ------------------------------------------------------
-    rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    rounds: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     coin = np.empty(n, dtype=bool)
     while live.size > _SERIAL_SWITCH:
         k = live.size
@@ -139,8 +138,8 @@ def _serial_scan_live(
 
 def random_mate_list_rank(
     lst: LinkedList,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """List ranking via random mate (scan of ones under ``+``)."""
     ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))

@@ -17,7 +17,6 @@ nodes (the paper's Phase 3 likewise writes every node).
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -33,9 +32,9 @@ __all__ = [
 
 def serial_list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    out: Optional[np.ndarray] = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Scan a linked list by direct traversal (the reference algorithm).
 
@@ -77,7 +76,7 @@ def serial_list_scan(
     return out
 
 
-def serial_list_rank(lst: LinkedList, out: Optional[np.ndarray] = None) -> np.ndarray:
+def serial_list_rank(lst: LinkedList, out: np.ndarray | None = None) -> np.ndarray:
     """Rank each node: its distance in links from the head (head = 0).
 
     Implemented as a direct traversal rather than a scan of ones, so it
@@ -103,7 +102,7 @@ def serial_scan_segment(
     start: int,
     op: Operator,
     carry_in,
-    out: Optional[np.ndarray] = None,
+    out: np.ndarray | None = None,
 ) -> object:
     """Scan a single sublist starting at ``start`` until its self-loop tail.
 

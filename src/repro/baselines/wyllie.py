@@ -31,7 +31,6 @@ arrays we read from and arrays we write to").
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
 
 import numpy as np
 
@@ -76,9 +75,9 @@ def build_predecessors(lst: LinkedList) -> np.ndarray:
 
 def wyllie_prefix(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    stats: Optional[ScanStats] = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """Pointer jumping along predecessor links — valid for any operator.
 
@@ -122,9 +121,9 @@ def wyllie_prefix(
 
 def wyllie_suffix(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    stats: Optional[ScanStats] = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """The paper's variant: jump along ``next``, accumulate suffix sums,
     then convert to a prefix scan via the operator's inverse.
@@ -170,10 +169,10 @@ def wyllie_suffix(
 
 def wyllie_list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
     variant: str = "auto",
-    stats: Optional[ScanStats] = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """List scan via Wyllie pointer jumping.
 
@@ -192,7 +191,7 @@ def wyllie_list_scan(
 
 
 def wyllie_list_rank(
-    lst: LinkedList, stats: Optional[ScanStats] = None
+    lst: LinkedList, stats: ScanStats | None = None
 ) -> np.ndarray:
     """List ranking via Wyllie: scan of all-ones values under ``+``."""
     ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))

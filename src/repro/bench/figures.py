@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -52,7 +52,7 @@ def write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence]) -> str
     return path
 
 
-def _sizes(max_k: int) -> List[int]:
+def _sizes(max_k: int) -> list[int]:
     out = []
     k = 8
     while k <= max_k:
@@ -61,7 +61,7 @@ def _sizes(max_k: int) -> List[int]:
     return out
 
 
-def figure1_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
+def figure1_series(max_k: int = 2048, out_dir: str | None = None) -> Dict:
     """ns/element of the five algorithms on one simulated CPU."""
     rows = []
     for size_k in _sizes(max_k):
@@ -83,7 +83,7 @@ def figure1_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
     return {"header": header, "rows": rows}
 
 
-def figure3_series(max_k: int = 512, out_dir: Optional[str] = None) -> Dict:
+def figure3_series(max_k: int = 512, out_dir: str | None = None) -> Dict:
     """Wyllie ns/element on 1/2/4/8 CPUs over dense sizes (sawtooth)."""
     bases = [1 << k for k in range(8, int(np.log2(max_k * K)) + 1)]
     sizes = sorted({x for b in bases for x in (b - 1, b + 2, b + (b >> 1))})
@@ -103,7 +103,7 @@ def figure3_series(max_k: int = 512, out_dir: Optional[str] = None) -> Dict:
     return {"header": header, "rows": rows}
 
 
-def figure4_series(out_dir: Optional[str] = None) -> Dict:
+def figure4_series(out_dir: str | None = None) -> Dict:
     """Relative speedup of the sublist algorithm vs processor count."""
     rows = []
     for p in range(1, 9):
@@ -120,7 +120,7 @@ def figure4_series(out_dir: Optional[str] = None) -> Dict:
     return {"header": header, "rows": rows}
 
 
-def figure11_series(out_dir: Optional[str] = None) -> Dict:
+def figure11_series(out_dir: str | None = None) -> Dict:
     """Expected and observed i-th shortest sublist lengths (n=1000)."""
     n = 1000
     rows = []
@@ -137,7 +137,7 @@ def figure11_series(out_dir: Optional[str] = None) -> Dict:
     return {"header": header, "rows": rows}
 
 
-def figure12_series(out_dir: Optional[str] = None) -> Dict:
+def figure12_series(out_dir: str | None = None) -> Dict:
     """g(s) curve and the optimal pack points (n=10000, m=200)."""
     n, m = 10_000, 200
     sch = optimal_schedule(n, m, 14.7)
@@ -150,7 +150,7 @@ def figure12_series(out_dir: Optional[str] = None) -> Dict:
     return {"header": header, "rows": rows}
 
 
-def figure14_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
+def figure14_series(max_k: int = 2048, out_dir: str | None = None) -> Dict:
     """Predicted vs measured ns/element, one CPU."""
     rows = []
     for size_k in _sizes(max_k):
@@ -167,7 +167,7 @@ def figure14_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
     return {"header": header, "rows": rows}
 
 
-def figure15_series(max_k: int = 2048, out_dir: Optional[str] = None) -> Dict:
+def figure15_series(max_k: int = 2048, out_dir: str | None = None) -> Dict:
     """Sublist algorithm ns/element on 1/2/4/8 CPUs."""
     rows = []
     for size_k in _sizes(max_k):

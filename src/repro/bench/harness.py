@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 __all__ = [
     "ExperimentRecord",
@@ -27,7 +28,7 @@ __all__ = [
     "summary_lines",
 ]
 
-_REGISTRY: List["ExperimentRecord"] = []
+_REGISTRY: list["ExperimentRecord"] = []
 
 
 @dataclass
@@ -41,7 +42,7 @@ class ExperimentRecord:
 
     experiment: str  #: e.g. "fig14"
     claim: str  #: human-readable description of the quantity
-    paper: Optional[float]
+    paper: float | None
     measured: float
     unit: str = ""
     ok: bool = True
@@ -49,18 +50,18 @@ class ExperimentRecord:
     #: optional structured attachment — e.g. a serialized span tree or a
     #: ``DeviationReport.as_dict()`` from ``repro.trace``; carried into
     #: the JSON export so the CI artifact keeps the full trajectory.
-    trace: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    trace: dict[str, Any] | None = field(default=None, repr=False)
 
 
 def record(
     experiment: str,
     claim: str,
-    paper: Optional[float],
+    paper: float | None,
     measured: float,
     unit: str = "",
     ok: bool = True,
     note: str = "",
-    trace: Optional[Dict[str, Any]] = None,
+    trace: dict[str, Any] | None = None,
 ) -> ExperimentRecord:
     """Register one paper-vs-measured comparison.
 
@@ -112,7 +113,7 @@ def record_speedup(
     )
 
 
-def all_records() -> List[ExperimentRecord]:
+def all_records() -> list[ExperimentRecord]:
     """All records accumulated so far (in registration order)."""
     return list(_REGISTRY)
 
@@ -121,7 +122,7 @@ def clear_records() -> None:
     _REGISTRY.clear()
 
 
-def records_as_dicts() -> List[Dict[str, Any]]:
+def records_as_dicts() -> list[dict[str, Any]]:
     """All records as JSON-ready dicts (trace attachments included)."""
     from ..trace.export import jsonable
 
@@ -192,7 +193,7 @@ def print_table(
     print(format_table(headers, rows, title))
 
 
-def summary_lines() -> List[str]:
+def summary_lines() -> list[str]:
     """One line per record, for the end-of-session summary."""
     lines = []
     for rec in _REGISTRY:

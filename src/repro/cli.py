@@ -15,6 +15,8 @@ Subcommands
               model-vs-observed deviation report (``--json`` for the
               machine-readable artifact, ``--engine`` to serve the scan
               through a traced engine)
+``lint``      run the project-invariant static analyzer (``repro.lint``)
+              over source paths; exits non-zero on findings
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -165,6 +167,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--max-events", type=int, default=40,
         help="events shown per span in the human tree",
+    )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer over source paths",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (the CI artifact) "
+             "instead of the human listing",
+    )
+    p_lint.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated subset of rules to run (default: all); "
+             "suppressions of unselected rules are never reported stale",
+    )
+    p_lint.add_argument(
+        "--no-unused-suppressions", action="store_true",
+        help="skip the stale `# repolint: disable` check",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (name, scope, rationale) and exit",
     )
 
     p_fig = sub.add_parser("figures", help="dump figure CSV series")
@@ -440,6 +469,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import all_rules, get_rule, lint_paths, render_human, render_json
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.paths) if rule.paths else "all files"
+            print(f"{rule.name}  [{scope}]")
+            print(f"    {rule.rationale}")
+            if rule.hint:
+                print(f"    fix: {rule.hint}")
+        return 0
+    rules = None
+    if args.rules:
+        try:
+            rules = [
+                get_rule(name.strip())
+                for name in args.rules.split(",")
+                if name.strip()
+            ]
+        except KeyError as exc:
+            print(f"lint: {exc.args[0]}", file=sys.stderr)
+            return 2
+    try:
+        result = lint_paths(
+            args.paths,
+            rules=rules,
+            check_unused=not args.no_unused_suppressions,
+        )
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.json else render_human(result))
+    return result.exit_code()
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     names = [args.only] if args.only else sorted(ALL_FIGURES)
     for name in names:
@@ -456,11 +520,12 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "tune": _cmd_tune,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
     "figures": _cmd_figures,
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -31,7 +31,6 @@ Phase-1 forest scan's outputs are exactly what Phase 3 needs.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -49,13 +48,13 @@ __all__ = ["early_reconnect_list_scan"]
 
 def early_reconnect_list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    config: Optional[SublistConfig] = None,
-    switch_count: Optional[int] = None,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
-    out: Optional[np.ndarray] = None,
+    config: SublistConfig | None = None,
+    switch_count: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """List scan with early straggler reconnection (Section 6).
 

@@ -30,7 +30,6 @@ by-product computed from the reduced forest.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +39,7 @@ from ..core.schedule import ScheduleIterator, optimal_schedule
 from ..core.stats import ScanStats
 from ..core.tuning import SERIAL_CUTOFF, WYLLIE_CUTOFF, tuned_parameters
 from ..lists.generate import INDEX_DTYPE
-from ..trace.tracer import null_span, resolve_trace
+from ..trace.tracer import Tracer, null_span, resolve_trace
 
 __all__ = [
     "forest_list_scan",
@@ -65,7 +64,7 @@ def serial_forest_scan(
     values: np.ndarray,
     heads: np.ndarray,
     op: Operator,
-    carries: Optional[np.ndarray],
+    carries: np.ndarray | None,
     out: np.ndarray,
 ) -> None:
     """Scalar reference: exclusive scan of each list, seeded by its carry."""
@@ -96,9 +95,9 @@ def wyllie_forest_scan(
     values: np.ndarray,
     heads: np.ndarray,
     op: Operator,
-    carries: Optional[np.ndarray],
+    carries: np.ndarray | None,
     out: np.ndarray,
-    stats: Optional[ScanStats] = None,
+    stats: ScanStats | None = None,
 ) -> None:
     """Pointer jumping over a forest — every chain jumps independently.
 
@@ -146,21 +145,21 @@ def forest_list_scan(
     nxt: np.ndarray,
     values: np.ndarray,
     heads: np.ndarray,
-    op: Union[Operator, str] = SUM,
-    carries: Optional[np.ndarray] = None,
+    op: Operator | str = SUM,
+    carries: np.ndarray | None = None,
     inclusive: bool = False,
-    m: Optional[int] = None,
-    s1: Optional[float] = None,
+    m: int | None = None,
+    s1: float | None = None,
     costs: KernelCosts = PAPER_C90_COSTS,
     serial_cutoff: int = SERIAL_CUTOFF,
     wyllie_cutoff: int = WYLLIE_CUTOFF,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
-    out: Optional[np.ndarray] = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
+    out: np.ndarray | None = None,
     return_list_ids: bool = False,
-    trace=None,
+    trace: str | Tracer | None = None,
     _depth: int = 0,
-) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Exclusive (or inclusive) scan of every list in a forest.
 
     Parameters

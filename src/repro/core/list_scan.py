@@ -38,15 +38,19 @@ dispatching directly.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..lists.generate import LinkedList
 from ..lists.validate import validate_list_strict
-from ..trace.tracer import null_span, resolve_trace
+from ..trace.tracer import Tracer, null_span, resolve_trace
 from .operators import Operator, SUM, get_operator
 from .stats import ScanStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a cycle)
+    from ..engine.engine import Engine
 
 __all__ = ["list_scan", "list_rank", "ALGORITHMS"]
 
@@ -88,15 +92,15 @@ ALGORITHMS = (
 
 def list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
     algorithm: str = "sublist",
     validate: bool = False,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
-    engine=None,
-    trace=None,
-    **kwargs,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
+    engine: Engine | None = None,
+    trace: str | Tracer | None = None,
+    **kwargs: Any,
 ) -> np.ndarray:
     """Scan a linked list under a binary associative operator.
 
@@ -208,9 +212,9 @@ def list_rank(
     lst: LinkedList,
     algorithm: str = "sublist",
     validate: bool = False,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
-    **kwargs,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
+    **kwargs: Any,
 ) -> np.ndarray:
     """Rank every node: its link distance from the head (head = 0).
 

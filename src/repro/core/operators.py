@@ -33,7 +33,7 @@ scan that silently commutes its operands fails the AFFINE tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -91,10 +91,10 @@ class Operator:
 
     name: str
     combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
-    identity: Optional[object] = None
-    ufunc: Optional[np.ufunc] = None
+    identity: object | None = None
+    ufunc: np.ufunc | None = None
     invertible: bool = False
-    remove: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
+    remove: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
     value_width: int = 0
     commutative: bool = True
     nan_hostile: bool = False
@@ -219,7 +219,7 @@ BUILTIN_OPERATORS = {
 }
 
 
-def get_operator(name_or_op) -> Operator:
+def get_operator(name_or_op: Operator | str) -> Operator:
     """Resolve an operator by name or pass an :class:`Operator` through."""
     if isinstance(name_or_op, Operator):
         return name_or_op

@@ -28,7 +28,7 @@ Equation 6 so that successive S's are always increasing").
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional, Sequence
+from collections.abc import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -58,7 +58,7 @@ def optimal_schedule(
     s1: float,
     costs: KernelCosts = PAPER_C90_COSTS,
     guard: str = "monotonic_gaps",
-    s_max: Optional[float] = None,
+    s_max: float | None = None,
 ) -> np.ndarray:
     """Generate pack points ``S_1 < S_2 < …`` from the Eq. 6 recurrence.
 
@@ -123,7 +123,7 @@ def optimal_schedule(
     return np.asarray(points, dtype=np.float64)
 
 
-def uniform_schedule(n: int, m: int, n_packs: int, s_max: Optional[float] = None) -> np.ndarray:
+def uniform_schedule(n: int, m: int, n_packs: int, s_max: float | None = None) -> np.ndarray:
     """Evenly spaced pack points: "divide l into the expected length of
     the longest sublist and pack every fixed number of intervals" — the
     naive baseline the paper argues against (Section 4.3)."""
@@ -134,12 +134,12 @@ def uniform_schedule(n: int, m: int, n_packs: int, s_max: Optional[float] = None
     return np.linspace(s_max / n_packs, s_max, n_packs)
 
 
-def every_step_schedule(n: int, m: int, s_max: Optional[float] = None) -> np.ndarray:
+def every_step_schedule(n: int, m: int, s_max: float | None = None) -> np.ndarray:
     """Pack after every single traversal step (minimum wasted work,
     maximum pack overhead) — the other ablation endpoint."""
     if s_max is None:
         s_max = expected_longest(n, m)
-    return np.arange(1.0, math.ceil(s_max) + 1.0)
+    return np.arange(1.0, math.ceil(s_max) + 1.0, dtype=np.float64)
 
 
 def integer_gaps(schedule: Sequence[float]) -> np.ndarray:
@@ -236,7 +236,9 @@ def numeric_optimal_schedule(
         pack = float(np.sum(costs.c * g_vals + costs.d))
         return rank + pack
 
-    def golden(lo: float, hi: float, fn, tol: float = 1e-6) -> float:
+    def golden(
+        lo: float, hi: float, fn: Callable[[float], float], tol: float = 1e-6
+    ) -> float:
         phi = (math.sqrt(5.0) - 1.0) / 2.0
         x1 = hi - phi * (hi - lo)
         x2 = lo + phi * (hi - lo)

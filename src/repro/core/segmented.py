@@ -18,7 +18,6 @@ segmented scan concatenates them and separates logically.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -33,7 +32,7 @@ __all__ = [
 ]
 
 
-def segmented_operator(op: Union[Operator, str]) -> Operator:
+def segmented_operator(op: Operator | str) -> Operator:
     """Lift a scalar operator to segmented (flag, value) pairs.
 
     Values are rows ``(flag, value)`` with flag ∈ {0, 1}.  The lifted
@@ -93,10 +92,10 @@ def pack_segmented_values(
 def segmented_list_scan(
     lst: LinkedList,
     segment_heads: np.ndarray,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
     algorithm: str = "sublist",
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """Per-segment exclusive (or inclusive) scan along one linked list.
 

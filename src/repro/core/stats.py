@@ -10,7 +10,6 @@ per vector operation (with the vector length), never per element.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 __all__ = ["ScanStats"]
 
@@ -49,7 +48,7 @@ class ScanStats:
     packs: int = 0
     peak_aux_words: int = 0
     _live_aux_words: int = 0
-    phases: Dict[str, int] = field(default_factory=dict)
+    phases: dict[str, int] = field(default_factory=dict)
 
     def add_work(self, n_elements: int, phase: str = "") -> None:
         """Record a vector step over ``n_elements`` elements."""

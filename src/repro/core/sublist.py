@@ -30,7 +30,6 @@ cycle-accounted Cray C-90 version lives in ``simulate.sublist_sim``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,7 +37,7 @@ from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..baselines.serial import serial_list_scan
 from ..baselines.wyllie import wyllie_list_scan
 from ..lists.generate import INDEX_DTYPE, LinkedList
-from ..trace.tracer import null_span, resolve_trace
+from ..trace.tracer import Tracer, null_span, resolve_trace
 from .operators import Operator, SUM, get_operator
 from .schedule import ScheduleIterator, optimal_schedule
 from .stats import ScanStats
@@ -91,8 +90,8 @@ class SublistConfig:
         Recursion depth limit for Phase 2.
     """
 
-    m: Optional[int] = None
-    s1: Optional[float] = None
+    m: int | None = None
+    s1: float | None = None
     splitters: str = "spaced"
     serial_cutoff: int = SERIAL_CUTOFF
     wyllie_cutoff: int = WYLLIE_CUTOFF
@@ -166,13 +165,13 @@ def choose_splitters(
 
 def sublist_list_scan(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     inclusive: bool = False,
-    config: Optional[SublistConfig] = None,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
-    out: Optional[np.ndarray] = None,
-    trace=None,
+    config: SublistConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
+    out: np.ndarray | None = None,
+    trace: str | Tracer | None = None,
 ) -> np.ndarray:
     """List scan with the paper's sublist algorithm.
 
@@ -213,16 +212,16 @@ def sublist_list_scan(
 
 def sublist_list_rank(
     lst: LinkedList,
-    config: Optional[SublistConfig] = None,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    stats: Optional[ScanStats] = None,
+    config: SublistConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+    stats: ScanStats | None = None,
 ) -> np.ndarray:
     """List ranking: the sublist scan of all-ones values under ``+``."""
     ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
     return sublist_list_scan(ones, SUM, config=config, rng=rng, stats=stats)
 
 
-def _resolve_parameters(n: int, cfg: SublistConfig) -> Tuple[int, float]:
+def _resolve_parameters(n: int, cfg: SublistConfig) -> tuple[int, float]:
     if cfg.m is not None and cfg.s1 is not None:
         return cfg.m, cfg.s1
     m_t, s1_t = tuned_parameters(n, cfg.costs)
@@ -238,10 +237,10 @@ def _scan_in_place(
     op: Operator,
     cfg: SublistConfig,
     rng: np.random.Generator,
-    stats: Optional[ScanStats],
+    stats: ScanStats | None,
     out: np.ndarray,
     depth: int,
-    tracer=None,
+    tracer: Tracer | None = None,
 ) -> None:
     """Exclusive scan of the list (nxt, values, head) into ``out``.
 
@@ -538,7 +537,7 @@ def _finish_phase1_serial(
     vp_proc: np.ndarray,
     sl_sum: np.ndarray,
     sl_tail: np.ndarray,
-    stats: Optional[ScanStats],
+    stats: ScanStats | None,
 ) -> None:
     """Scalar completion of the last Phase-1 stragglers (Section 6 ablation)."""
     limit = nxt.shape[0] + 1
@@ -571,7 +570,7 @@ def _finish_phase3_serial(
     vp_next: np.ndarray,
     vp_sum: np.ndarray,
     out: np.ndarray,
-    stats: Optional[ScanStats],
+    stats: ScanStats | None,
 ) -> None:
     """Scalar completion of the last Phase-3 stragglers."""
     limit = nxt.shape[0] + 1

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -70,7 +70,7 @@ def tune_grid(
     n: int,
     costs: KernelCosts = PAPER_C90_COSTS,
     n_processors: int = 1,
-) -> Tuple[int, float, float]:
+) -> tuple[int, float, float]:
     """Grid-search (m, S₁) minimizing the expected-time model.
 
     Returns ``(m, s1, predicted_clocks)``.
@@ -99,7 +99,7 @@ def tune_grid(
 @lru_cache(maxsize=512)
 def _tuned_cached(
     n: int, costs: KernelCosts, n_processors: int
-) -> Tuple[int, float, float]:
+) -> tuple[int, float, float]:
     return tune_grid(n, costs, n_processors)
 
 
@@ -107,7 +107,7 @@ def tuned_parameters(
     n: int,
     costs: KernelCosts = PAPER_C90_COSTS,
     n_processors: int = 1,
-) -> Tuple[int, float]:
+) -> tuple[int, float]:
     """Model-optimal ``(m, s1)`` for a list of length ``n`` (cached).
 
     ``n`` is rounded to the nearest power of √2 before lookup so the
@@ -132,8 +132,8 @@ class PolylogFit:
     the cubic well-behaved across six decades of n.
     """
 
-    m_coeffs: Tuple[float, float, float, float]
-    s1_coeffs: Tuple[float, float, float, float]
+    m_coeffs: tuple[float, float, float, float]
+    s1_coeffs: tuple[float, float, float, float]
 
     def m(self, n: int) -> int:
         x = math.log(max(n, 2))
@@ -172,7 +172,7 @@ def fit_polylog(
     return PolylogFit(m_coeffs=m_coeffs, s1_coeffs=s1_coeffs)
 
 
-def default_parameters(n: int) -> Tuple[int, float]:
+def default_parameters(n: int) -> tuple[int, float]:
     """Runtime default ``(m, s1)``: the cached model optimum for the
     paper's C-90 cost table."""
     return tuned_parameters(n, PAPER_C90_COSTS, 1)

@@ -32,7 +32,7 @@ without creating an import cycle through :class:`Engine`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 __all__ = [
     "Engine",
@@ -104,7 +104,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     try:
         module_name, attr = _EXPORTS[name]
     except KeyError:
@@ -114,5 +114,5 @@ def __getattr__(name: str):
     return getattr(importlib.import_module(module_name), attr)
 
 
-def __dir__():
+def __dir__() -> list[str]:
     return sorted(set(globals()) | set(_EXPORTS))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -38,7 +38,7 @@ __all__ = ["size_class", "shard_key", "shard_requests", "FusedBatch"]
 #: Geometric growth factor between size classes.
 DEFAULT_SIZE_CLASS_BASE = 2.0
 
-ShardKey = Tuple[int, str, Tuple[int, ...], bool, str, str]
+ShardKey = tuple[int, str, tuple[int, ...], bool, str, str]
 
 
 def size_class(n: int, base: float = DEFAULT_SIZE_CLASS_BASE) -> int:
@@ -81,9 +81,9 @@ def shard_key(
 def shard_requests(
     requests: Sequence[ScanRequest],
     base: float = DEFAULT_SIZE_CLASS_BASE,
-) -> Dict[ShardKey, List[ScanRequest]]:
+) -> dict[ShardKey, list[ScanRequest]]:
     """Group requests into fusable shards (insertion order preserved)."""
-    shards: Dict[ShardKey, List[ScanRequest]] = {}
+    shards: dict[ShardKey, list[ScanRequest]] = {}
     for req in requests:
         shards.setdefault(shard_key(req, base), []).append(req)
     return shards
@@ -100,7 +100,7 @@ class FusedBatch:
     tail; ``heads[k]`` is its head in fused coordinates.
     """
 
-    requests: List[ScanRequest]
+    requests: list[ScanRequest]
     nxt: np.ndarray
     values: np.ndarray
     heads: np.ndarray
@@ -161,7 +161,7 @@ class FusedBatch:
     def n_lists(self) -> int:
         return len(self.requests)
 
-    def unfuse(self, out: np.ndarray) -> List[np.ndarray]:
+    def unfuse(self, out: np.ndarray) -> list[np.ndarray]:
         """Slice a fused result array back into per-request results.
 
         Returns copies, so the (large) fused array does not stay alive

@@ -24,7 +24,6 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -36,7 +35,7 @@ __all__ = ["fingerprint", "ResultCache"]
 
 def fingerprint(
     lst: LinkedList,
-    op: Union[Operator, str],
+    op: Operator | str,
     inclusive: bool = False,
 ) -> bytes:
     """128-bit structural digest of one scan problem.
@@ -79,14 +78,14 @@ class ResultCache:
         A single result larger than the bound is simply not stored.
     """
 
-    def __init__(self, capacity: int = 256, max_bytes: Optional[int] = None) -> None:
+    def __init__(self, capacity: int = 256, max_bytes: int | None = None) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be >= 0 (or None)")
         self.capacity = capacity
         self.max_bytes = max_bytes
-        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
         self.hits = 0
@@ -102,7 +101,7 @@ class ResultCache:
         with self._lock:
             return self._bytes
 
-    def get(self, key: bytes) -> Optional[np.ndarray]:
+    def get(self, key: bytes) -> np.ndarray | None:
         """Look up a result; returns a fresh copy, or ``None`` on miss."""
         with self._lock:
             entry = self._entries.get(key)
@@ -150,7 +149,7 @@ class ResultCache:
             self.misses = 0
             self.evictions = 0
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         """Counters snapshot (hits/misses/evictions/entries/bytes)."""
         with self._lock:
             return {

@@ -57,7 +57,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -66,7 +66,7 @@ from ..core.operators import Operator, SUM
 from ..core.stats import ScanStats
 from ..lists.generate import LinkedList
 from ..trace.export import span_from_dict
-from ..trace.tracer import null_span, resolve_trace
+from ..trace.tracer import Span, Tracer, null_span, resolve_trace
 from .batch import DEFAULT_SIZE_CLASS_BASE, FusedBatch, shard_requests
 from .cache import ResultCache, fingerprint
 from .errors import (
@@ -83,7 +83,7 @@ __all__ = ["Engine", "EngineStats"]
 
 #: A contained per-request outcome: ``(algorithm, batch_lists, result)``
 #: on success, a :class:`RequestError` on failure.
-_Outcome = Union[Tuple[str, int, np.ndarray], RequestError]
+_Outcome = tuple[str, int, np.ndarray] | RequestError
 
 
 @dataclass
@@ -135,7 +135,7 @@ class EngineStats:
     kernel_rounds: int = 0
     kernel_packs: int = 0
     seconds_executing: float = 0.0
-    algorithms: Dict[str, int] = field(default_factory=dict)
+    algorithms: dict[str, int] = field(default_factory=dict)
 
     def merge_kernel_stats(self, kstats: "ScanStats") -> None:
         """Fold one successful attempt's kernel counters in (caller
@@ -147,9 +147,9 @@ class EngineStats:
     def count_algorithm(self, name: str, lists: int = 1) -> None:
         self.algorithms[name] = self.algorithms.get(name, 0) + lists
 
-    def as_rows(self) -> List[List[object]]:
+    def as_rows(self) -> list[list[object]]:
         """Counter rows for ``bench.harness.format_table``."""
-        rows: List[List[object]] = [
+        rows: list[list[object]] = [
             ["requests", self.requests],
             ["batches", self.batches],
             ["shards", self.shards],
@@ -208,6 +208,13 @@ class Engine:
     seed:
         Seed for the engine's random stream (splitter choices in the
         forest kernels; results are identical for every seed).
+    clock:
+        Zero-argument callable behind ``seconds_executing`` and the
+        ``queue_wait`` telemetry (shared with the submission queue so
+        both read one epoch); defaults to :func:`time.perf_counter`.
+        Injectable so tests can drive a deterministic counting clock —
+        the ``injectable-clock`` lint rule forbids direct wall-clock
+        calls in the engine.
     trace:
         ``None`` (default — no tracing hooks run), ``"off"`` (hooks run
         against a disabled tracer) or a :class:`repro.trace.Tracer`.  A
@@ -221,18 +228,19 @@ class Engine:
 
     def __init__(
         self,
-        router: Optional[Router] = None,
-        cache: Optional[ResultCache] = None,
+        router: Router | None = None,
+        cache: ResultCache | None = None,
         cache_capacity: int = 256,
-        cache_max_bytes: Optional[int] = None,
-        max_pending: Optional[int] = 1024,
-        max_pending_nodes: Optional[int] = None,
+        cache_max_bytes: int | None = None,
+        max_pending: int | None = 1024,
+        max_pending_nodes: int | None = None,
         executor: str = "threads",
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
         size_class_base: float = DEFAULT_SIZE_CLASS_BASE,
         validate: str = "fast",
-        seed: Optional[int] = 0,
-        trace=None,
+        seed: int | None = 0,
+        trace: str | Tracer | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if validate not in VALIDATION_MODES:
             raise ValueError(
@@ -249,7 +257,10 @@ class Engine:
             if cache is not None
             else ResultCache(cache_capacity, cache_max_bytes)
         )
-        self.queue = SubmissionQueue(max_pending, max_pending_nodes)
+        self.clock = clock if clock is not None else time.perf_counter
+        self.queue = SubmissionQueue(
+            max_pending, max_pending_nodes, clock=self.clock
+        )
         self.executor = executor
         self.max_workers = max_workers
         self._backend = create_backend(executor, max_workers)
@@ -267,12 +278,12 @@ class Engine:
     def submit(
         self,
         lst: LinkedList,
-        op: Union[Operator, str] = SUM,
+        op: Operator | str = SUM,
         inclusive: bool = False,
         algorithm: str = "auto",
-        tag: Optional[object] = None,
+        tag: object | None = None,
         block: bool = True,
-        timeout: Optional[float] = None,
+        timeout: float | None = None,
     ) -> int:
         """Enqueue one scan request; returns its request id.
 
@@ -291,7 +302,7 @@ class Engine:
         )
         return self.queue.submit(request, block=block, timeout=timeout)
 
-    def flush(self, parallel: Optional[bool] = None) -> List[ScanResponse]:
+    def flush(self, parallel: bool | None = None) -> list[ScanResponse]:
         """Drain the submission queue and execute everything as one batch.
 
         ``parallel`` defaults to whatever the configured executor
@@ -327,8 +338,8 @@ class Engine:
     def run_batch(
         self,
         requests: Sequence[ScanRequest],
-        parallel: Optional[bool] = None,
-    ) -> List[ScanResponse]:
+        parallel: bool | None = None,
+    ) -> list[ScanResponse]:
         """Execute a batch of requests; responses come back in request
         order.
 
@@ -348,8 +359,8 @@ class Engine:
             parallel = self._backend.concurrent
         parallel = bool(parallel)
         requests = list(requests)
-        responses: Dict[int, ScanResponse] = {}
-        t0 = time.perf_counter()
+        responses: dict[int, ScanResponse] = {}
+        t0 = self.clock()
         n_errors = n_coalesced = n_hits = n_misses = 0
 
         tracer = self.trace
@@ -357,10 +368,10 @@ class Engine:
         with span(
             "run_batch", requests=len(requests), parallel=parallel
         ) as batch_span:
-            misses: List[ScanRequest] = []
-            keys: Dict[int, bytes] = {}
-            primaries: Dict[bytes, int] = {}  # fingerprint -> primary id
-            followers: Dict[int, List[ScanRequest]] = {}  # primary -> dups
+            misses: list[ScanRequest] = []
+            keys: dict[int, bytes] = {}
+            primaries: dict[bytes, int] = {}  # fingerprint -> primary id
+            followers: dict[int, list[ScanRequest]] = {}  # primary -> dups
             with span("admit"):
                 for req in requests:
                     if tracer is not None and req.submitted_at is not None:
@@ -369,8 +380,8 @@ class Engine:
                             request_id=req.request_id,
                             seconds=max(0.0, t0 - req.submitted_at),
                         )
-                    error: Optional[RequestError] = None
-                    key: Optional[bytes] = None
+                    error: RequestError | None = None
+                    key: bytes | None = None
                     try:
                         key = fingerprint(req.lst, req.op, req.inclusive)
                     except Exception as exc:
@@ -489,7 +500,7 @@ class Engine:
                                 )
                             responses[dup.request_id] = dup_resp
 
-        elapsed = time.perf_counter() - t0
+        elapsed = self.clock() - t0
         with self._lock:
             self.stats.requests += len(requests)
             self.stats.batches += 1
@@ -508,7 +519,7 @@ class Engine:
     def scan(
         self,
         lst: LinkedList,
-        op: Union[Operator, str] = SUM,
+        op: Operator | str = SUM,
         inclusive: bool = False,
         algorithm: str = "auto",
     ) -> np.ndarray:
@@ -532,11 +543,11 @@ class Engine:
     def map_scan(
         self,
         lists: Sequence[LinkedList],
-        op: Union[Operator, str] = SUM,
+        op: Operator | str = SUM,
         inclusive: bool = False,
         algorithm: str = "auto",
-        parallel: Optional[bool] = None,
-    ) -> List[np.ndarray]:
+        parallel: bool | None = None,
+    ) -> list[np.ndarray]:
         """Scan many lists; returns results in input order.
 
         Raises :class:`~repro.engine.errors.EngineRequestError` for the
@@ -571,7 +582,7 @@ class Engine:
             (child,) = self._seeds.spawn(1)
         return np.random.default_rng(child)
 
-    def _solo_scan(self, req: ScanRequest) -> Tuple[str, np.ndarray]:
+    def _solo_scan(self, req: ScanRequest) -> tuple[str, np.ndarray]:
         """Run one request alone through the dispatch API.
 
         Each solo run collects its *own* fresh kernel
@@ -606,8 +617,8 @@ class Engine:
         return algorithm, result
 
     def _execute_shard_contained(
-        self, shard: List[ScanRequest], parent=None
-    ) -> List[_Outcome]:
+        self, shard: list[ScanRequest], parent: Span | None = None
+    ) -> list[_Outcome]:
         """Run one shard without ever raising.
 
         Returns one outcome per request, aligned with the shard: a
@@ -644,7 +655,7 @@ class Engine:
                     ]
                 with self._lock:
                     self.stats.retries += 1
-                outcomes: List[_Outcome] = []
+                outcomes: list[_Outcome] = []
                 with span("quarantine_retry", lists=len(shard)):
                     for req in shard:
                         try:
@@ -660,7 +671,9 @@ class Engine:
                             )
                 return outcomes
 
-    def _execute_shard(self, shard: List[ScanRequest]):
+    def _execute_shard(
+        self, shard: list[ScanRequest]
+    ) -> tuple[str, list[np.ndarray]]:
         """Run one fusable shard; returns ``(algorithm, per-request results)``.
 
         The fused execution collects a fresh kernel
@@ -691,7 +704,7 @@ class Engine:
             else self.router.choose(batch.n_nodes, batch.n_lists)
         )
         if tracer is not None:
-            predicted: Dict[str, float] = {}
+            predicted: dict[str, float] = {}
             if self.router.calibrated:
                 for candidate in self.router.candidates:
                     predicted[candidate] = float(

@@ -47,7 +47,6 @@ Error codes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -89,7 +88,7 @@ class RequestError:
     code: str
     message: str
     phase: str
-    exception: Optional[str] = None
+    exception: str | None = None
 
     @classmethod
     def from_exception(
@@ -124,7 +123,7 @@ class EngineRequestError(RuntimeError):
         )
 
 
-def _validate_structure(request: ScanRequest, strict: bool) -> Optional[RequestError]:
+def _validate_structure(request: ScanRequest, strict: bool) -> RequestError | None:
     try:
         if strict:
             validate_list_strict(request.lst)
@@ -139,7 +138,7 @@ def _validate_structure(request: ScanRequest, strict: bool) -> Optional[RequestE
 
 def validate_request(
     request: ScanRequest, mode: str = "fast"
-) -> Optional[RequestError]:
+) -> RequestError | None:
     """Probe one request before execution; ``None`` means clean.
 
     Checks, in order:

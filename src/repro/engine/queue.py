@@ -22,7 +22,8 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Union
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -73,12 +74,12 @@ class ScanRequest:
     """
 
     lst: LinkedList
-    op: Union[Operator, str] = SUM
+    op: Operator | str = SUM
     inclusive: bool = False
     algorithm: str = "auto"
-    tag: Optional[object] = None
+    tag: object | None = None
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
-    submitted_at: Optional[float] = None
+    submitted_at: float | None = None
 
     def __post_init__(self) -> None:
         self.op = get_operator(self.op)
@@ -106,15 +107,15 @@ class ScanResponse:
     """
 
     request_id: int
-    result: Optional[np.ndarray] = None
+    result: np.ndarray | None = None
     algorithm: str = ""
     cached: bool = False
     coalesced: bool = False
     batch_lists: int = 1
     n: int = 0
-    tag: Optional[object] = None
+    tag: object | None = None
     ok: bool = True
-    error: Optional["RequestError"] = None
+    error: RequestError | None = None
 
 
 class SubmissionQueue:
@@ -131,12 +132,19 @@ class SubmissionQueue:
         when the queue is empty, or — for a blocking submit — as soon
         as it reaches the front of the waiter line, so a steady stream
         of small submitters cannot starve it forever.
+    clock:
+        Zero-argument callable stamping ``submitted_at`` on admission
+        (the source of the traced ``queue_wait`` telemetry); defaults
+        to :func:`time.perf_counter`.  Injectable so tests can drive a
+        deterministic counting clock — the ``injectable-clock`` lint
+        rule forbids direct wall-clock calls in this module.
     """
 
     def __init__(
         self,
-        max_requests: Optional[int] = 1024,
-        max_nodes: Optional[int] = None,
+        max_requests: int | None = 1024,
+        max_nodes: int | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if max_requests is not None and max_requests < 1:
             raise ValueError("max_requests must be >= 1 (or None)")
@@ -144,10 +152,11 @@ class SubmissionQueue:
             raise ValueError("max_nodes must be >= 1 (or None)")
         self.max_requests = max_requests
         self.max_nodes = max_nodes
-        self._items: List[ScanRequest] = []
+        self.clock = clock if clock is not None else time.perf_counter
+        self._items: list[ScanRequest] = []
         self._nodes = 0
         self._cond = threading.Condition()
-        self._waiters: List[int] = []  # tickets of blocked submitters, FIFO
+        self._waiters: list[int] = []  # tickets of blocked submitters, FIFO
         self._tickets = itertools.count()
 
     def __len__(self) -> int:
@@ -180,7 +189,7 @@ class SubmissionQueue:
         self,
         request: ScanRequest,
         block: bool = True,
-        timeout: Optional[float] = None,
+        timeout: float | None = None,
     ) -> int:
         """Enqueue a request; returns its ``request_id``.
 
@@ -212,13 +221,13 @@ class SubmissionQueue:
                         f"queue still full after {timeout}s "
                         f"({len(self._items)} requests pending)"
                     )
-            request.submitted_at = time.perf_counter()
+            request.submitted_at = self.clock()
             self._items.append(request)
             self._nodes += request.n
             self._cond.notify_all()
             return request.request_id
 
-    def drain(self, max_requests: Optional[int] = None) -> List[ScanRequest]:
+    def drain(self, max_requests: int | None = None) -> list[ScanRequest]:
         """Pop up to ``max_requests`` requests in FIFO order (all by
         default) and wake any submitter blocked on backpressure."""
         with self._cond:

@@ -28,7 +28,6 @@ each size region.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
 
 from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..analysis.predict import predict_run
@@ -66,9 +65,9 @@ class Router:
 
     def __init__(
         self,
-        costs: Optional[KernelCosts] = PAPER_C90_COSTS,
+        costs: KernelCosts | None = PAPER_C90_COSTS,
         serial_below: int = DEFAULT_SERIAL_BELOW,
-        candidates: Tuple[str, ...] = CANDIDATES,
+        candidates: tuple[str, ...] = CANDIDATES,
     ) -> None:
         unknown = set(candidates) - set(CANDIDATES)
         if unknown:
@@ -78,7 +77,7 @@ class Router:
         self.costs = costs
         self.serial_below = serial_below
         self.candidates = tuple(candidates)
-        self._choices: Dict[Tuple[int, int], str] = {}
+        self._choices: dict[tuple[int, int], str] = {}
 
     @property
     def calibrated(self) -> bool:
@@ -144,7 +143,7 @@ class Router:
         return hi
 
 
-_DEFAULT_ROUTER: Optional[Router] = None
+_DEFAULT_ROUTER: Router | None = None
 
 
 def default_router() -> Router:
@@ -155,7 +154,7 @@ def default_router() -> Router:
     return _DEFAULT_ROUTER
 
 
-def route_algorithm(n: int, n_lists: int = 1, router: Optional[Router] = None) -> str:
+def route_algorithm(n: int, n_lists: int = 1, router: Router | None = None) -> str:
     """Route an ``n``-node problem through ``router`` (default: the
     process-wide calibrated router)."""
     return (router or default_router()).choose(n, n_lists)

@@ -47,10 +47,12 @@ context manager tear workers down exactly once).
 from __future__ import annotations
 
 import threading
+from contextlib import suppress
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -89,7 +91,7 @@ def run_fused_kernel(
     rng: np.random.Generator,
     kstats: ScanStats,
     out: np.ndarray,
-    tracer: Optional[Tracer] = None,
+    tracer: Tracer | None = None,
 ) -> np.ndarray:
     """Execute one fused forest problem with the routed algorithm.
 
@@ -144,17 +146,17 @@ class _ArrayRef:
     returns the result in its payload).
     """
 
-    shape: Tuple[int, ...]
+    shape: tuple[int, ...]
     dtype: str
-    shm_name: Optional[str] = None
-    inline: Optional[np.ndarray] = None
+    shm_name: str | None = None
+    inline: np.ndarray | None = None
 
     @property
     def nbytes(self) -> int:
         return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
 
 
-def _export_array(arr: np.ndarray, leases: List[Any], min_bytes: int) -> _ArrayRef:
+def _export_array(arr: np.ndarray, leases: list[Any], min_bytes: int) -> _ArrayRef:
     """Ship ``arr`` to a worker: shared memory above ``min_bytes``,
     inline below.  Created segments are appended to ``leases`` — the
     parent owns them and must close+unlink after the task completes
@@ -173,7 +175,7 @@ def _export_array(arr: np.ndarray, leases: List[Any], min_bytes: int) -> _ArrayR
 
 
 def _alloc_out(
-    shape: Tuple[int, ...], dtype: np.dtype, leases: List[Any], min_bytes: int
+    shape: tuple[int, ...], dtype: np.dtype, leases: list[Any], min_bytes: int
 ) -> _ArrayRef:
     """Allocate the result slot: a shared segment the worker writes
     into, or (small results) nothing — the worker returns the array."""
@@ -187,7 +189,7 @@ def _alloc_out(
     return ref
 
 
-def _attach_array(ref: _ArrayRef, holds: List[Any]) -> np.ndarray:
+def _attach_array(ref: _ArrayRef, holds: list[Any]) -> np.ndarray:
     """Worker side of :class:`_ArrayRef`: map the segment (tracking the
     mapping in ``holds`` for cleanup) or take the inline array."""
     if ref.shm_name is None:
@@ -201,34 +203,29 @@ def _attach_array(ref: _ArrayRef, holds: List[Any]) -> np.ndarray:
     return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
 
 
-def _release(segments: List[Any], unlink: bool) -> None:
+def _release(segments: list[Any], unlink: bool) -> None:
     for shm in segments:
-        try:
+        # exported views may still be alive (close) / already gone (unlink)
+        with suppress(BufferError):
             shm.close()
-        except BufferError:  # pragma: no cover - exported views still alive
-            pass
         if unlink:
-            try:
+            with suppress(FileNotFoundError):
                 shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
         else:
             # Attach-side release (worker): attaching re-registered the
             # segment with this process's resource tracker (CPython
             # gh-82300), but the *parent* owns unlink — deregister so
             # the tracker doesn't warn about (and double-free) segments
             # the parent already cleaned up.
-            try:
+            with suppress(Exception):  # best-effort hygiene
                 from multiprocessing import resource_tracker
 
                 resource_tracker.unregister(
                     getattr(shm, "_name", shm.name), "shared_memory"
                 )
-            except Exception:  # pragma: no cover - best-effort hygiene
-                pass
 
 
-def _pool_mp_context():
+def _pool_mp_context() -> Any:
     """Start method for the worker pool — anything but ``fork``.
 
     Pool workers are created lazily from the engine's *driver threads*,
@@ -272,7 +269,7 @@ class _FusedTask:
 
 def _run_fused_task(
     task: _FusedTask,
-) -> Tuple[ScanStats, List[Dict[str, Any]], Optional[np.ndarray]]:
+) -> tuple[ScanStats, list[dict[str, Any]], np.ndarray | None]:
     """Worker-process entry point: map, execute, write back.
 
     Returns ``(kernel stats, serialized kernel spans, payload)`` where
@@ -282,7 +279,7 @@ def _run_fused_task(
     """
     from ..trace.export import span_to_dict
 
-    holds: List[Any] = []
+    holds: list[Any] = []
     nxt = values = out = None
     try:
         nxt = _attach_array(task.nxt, holds)
@@ -343,7 +340,7 @@ class ExecutionBackend:
         self._closed = False
         self._lock = threading.Lock()
 
-    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> List[Any]:
+    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> list[Any]:
         return [fn(shard) for shard in shards]
 
     def run_fused(
@@ -356,7 +353,7 @@ class ExecutionBackend:
         algorithm: str,
         seed: int,
         traced: bool,
-    ) -> Tuple[np.ndarray, ScanStats, List[Dict[str, Any]]]:
+    ) -> tuple[np.ndarray, ScanStats, list[dict[str, Any]]]:
         raise NotImplementedError(f"{self.name!r} backend executes kernels inline")
 
     def close(self) -> None:
@@ -392,10 +389,10 @@ class ThreadBackend(ExecutionBackend):
     name = "threads"
     concurrent = True
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(self, max_workers: int | None = None) -> None:
         super().__init__()
         self.max_workers = max_workers
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -408,7 +405,7 @@ class ThreadBackend(ExecutionBackend):
                 self.pools_created += 1
             return self._pool
 
-    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> List[Any]:
+    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> list[Any]:
         if len(shards) <= 1:
             return [fn(shard) for shard in shards]
         return list(self._ensure_pool().map(fn, shards))
@@ -437,7 +434,7 @@ class ProcessBackend(ExecutionBackend):
 
     def __init__(
         self,
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
         shm_min_bytes: int = SHM_MIN_BYTES,
     ) -> None:
         super().__init__()
@@ -446,8 +443,8 @@ class ProcessBackend(ExecutionBackend):
         self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
         self.shm_min_bytes = int(shm_min_bytes)
         self.tasks_offloaded = 0
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._driver: Optional[ThreadPoolExecutor] = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._driver: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -469,7 +466,7 @@ class ProcessBackend(ExecutionBackend):
                 )
             return self._driver
 
-    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> List[Any]:
+    def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> list[Any]:
         if len(shards) <= 1:
             return [fn(shard) for shard in shards]
         return list(self._ensure_driver().map(fn, shards))
@@ -484,7 +481,7 @@ class ProcessBackend(ExecutionBackend):
         algorithm: str,
         seed: int,
         traced: bool,
-    ) -> Tuple[np.ndarray, ScanStats, List[Dict[str, Any]]]:
+    ) -> tuple[np.ndarray, ScanStats, list[dict[str, Any]]]:
         """Execute one fused kernel in a worker process.
 
         The parent owns every shared segment: they are created here,
@@ -492,7 +489,7 @@ class ProcessBackend(ExecutionBackend):
         crashes), so a poisoned shard cannot leak ``/dev/shm`` space.
         """
         pool = self._ensure_pool()
-        leases: List[Any] = []
+        leases: list[Any] = []
         try:
             task = _FusedTask(
                 nxt=_export_array(nxt, leases, self.shm_min_bytes),
@@ -548,7 +545,7 @@ def offloadable_operator(op: Operator) -> bool:
     return BUILTIN_OPERATORS.get(op.name) is op
 
 
-def create_backend(executor: str, max_workers: Optional[int] = None) -> ExecutionBackend:
+def create_backend(executor: str, max_workers: int | None = None) -> ExecutionBackend:
     """Build the backend for ``Engine(executor=...)``."""
     if executor == "sync":
         return SyncBackend()

@@ -1,0 +1,49 @@
+"""The :class:`Diagnostic` record every rule emits.
+
+A diagnostic pins one finding to a file/line/column, names the rule
+that produced it, and carries a human message plus an optional
+``hint`` — the rule's fix-it suggestion, rendered by both reporters so
+a finding always says what to do about itself, not just what is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: RULE message``.
+
+    ``line`` is 1-based (AST convention), ``col`` is 0-based.  The
+    dataclass orders by position so reporters can sort findings into
+    reading order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    data: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def format(self) -> str:
+        """Render for the human reporter (without the hint line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """Render for the JSON reporter."""
+        out: dict[str, Any] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.data:
+            out["data"] = self.data
+        return out

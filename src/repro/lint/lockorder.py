@@ -1,0 +1,295 @@
+"""Runtime lock-order checking for the engine's concurrent drivers.
+
+Static rules can prove a lock is only taken through ``with``; they
+cannot prove two locks are always taken in the same *order* — the
+classic AB/BA deadlock needs runtime observation.  This module wraps
+``threading`` locks in :class:`CheckedLock`, records the acquisition-
+order graph in a shared :class:`LockOrderGraph` (an edge A→B means
+"some thread acquired B while holding A"), and raises
+:class:`LockOrderError` the moment an acquisition would close a cycle
+— i.e. at the first run that *could* deadlock, not the unlucky run
+that does.
+
+The engine-concurrency test suite enables this via
+:func:`instrumented_locks`, which swaps the ``threading`` module seen
+by the engine modules for a proxy whose ``Lock``/``RLock`` factories
+produce checked locks.  Only the named modules are affected — the
+interpreter's own locks (thread pools, condition variables) stay
+untouched, so the audit measures the engine's ordering discipline and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from types import ModuleType, TracebackType
+from collections.abc import Iterator
+from typing import Any
+
+__all__ = [
+    "CheckedLock",
+    "LockOrderError",
+    "LockOrderGraph",
+    "instrumented_locks",
+]
+
+
+class LockOrderError(RuntimeError):
+    """An acquisition would create a cyclic lock order.
+
+    ``cycle`` is the witness path ``[B, …, A]`` already in the graph
+    that the offending edge ``A→B`` would close into a cycle.
+    """
+
+    def __init__(self, acquiring: str, held: str, cycle: list[str]):
+        self.acquiring = acquiring
+        self.held = held
+        self.cycle = list(cycle)
+        path = " -> ".join([*cycle, cycle[0]]) if cycle else f"{acquiring}"
+        super().__init__(
+            f"lock-order violation: acquiring {acquiring!r} while holding "
+            f"{held!r} closes the cycle {path}"
+        )
+
+
+class LockOrderGraph:
+    """Thread-safe acquisition-order graph.
+
+    Nodes are lock names; a directed edge ``a -> b`` records that some
+    thread acquired ``b`` while holding ``a``.  Edges are checked as
+    they are added: if a path ``b ⇝ a`` already exists, the new edge
+    would close a cycle and :class:`LockOrderError` is raised at the
+    acquire site.  Because every edge is validated on entry, the graph
+    is acyclic by construction — :meth:`assert_acyclic` re-verifies
+    that invariant for test teardown.
+    """
+
+    def __init__(self) -> None:
+        self._edges: dict[str, set[str]] = {}
+        self._local = threading.local()
+        # internal bookkeeping mutex: a plain, unchecked lock — the
+        # checker must not audit itself
+        self._mutex = threading.Lock()
+        self.acquisitions = 0
+
+    # ------------------------------------------------------------------
+    # per-thread held stack
+    # ------------------------------------------------------------------
+
+    def _held(self) -> list[str]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = []
+        return held
+
+    def held_by_current_thread(self) -> tuple[str, ...]:
+        """Names of locks the calling thread currently holds."""
+        return tuple(self._held())
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_acquire(self, name: str) -> None:
+        """Note a successful acquisition of ``name`` by this thread.
+
+        Adds an edge from every currently-held lock to ``name`` and
+        raises :class:`LockOrderError` if any edge closes a cycle.
+        The offending edge is *not* added, so a caught violation does
+        not corrupt the graph for later assertions.
+        """
+        held = self._held()
+        with self._mutex:
+            self.acquisitions += 1
+            for holder in held:
+                if holder == name:
+                    continue  # reentrant (RLock) re-acquire
+                cycle = self._path(name, holder)
+                if cycle is not None:
+                    raise LockOrderError(name, holder, cycle)
+                self._edges.setdefault(holder, set()).add(name)
+                self._edges.setdefault(name, set())
+            self._edges.setdefault(name, set())
+        held.append(name)
+
+    def record_release(self, name: str) -> None:
+        """Note a release; tolerates out-of-LIFO-order releases."""
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    def _path(self, src: str, dst: str) -> list[str] | None:
+        """DFS path ``src ⇝ dst`` in the current graph (caller holds
+        the mutex), or ``None``."""
+        stack: list[tuple[str, list[str]]] = [(src, [src])]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, [*path, nxt]))
+        return None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def edges(self) -> dict[str, frozenset[str]]:
+        """Snapshot of the recorded order graph."""
+        with self._mutex:
+            return {a: frozenset(bs) for a, bs in self._edges.items()}
+
+    def edge_count(self) -> int:
+        with self._mutex:
+            return sum(len(bs) for bs in self._edges.values())
+
+    def assert_acyclic(self) -> None:
+        """Re-verify the no-cycle invariant (test teardown hook)."""
+        edges = self.edges()
+        state: dict[str, int] = {}  # 0 in progress, 1 done
+
+        def visit(node: str, trail: list[str]) -> None:
+            state[node] = 0
+            trail.append(node)
+            for nxt in edges.get(node, ()):
+                if state.get(nxt) == 0:
+                    raise LockOrderError(nxt, node, trail[trail.index(nxt):])
+                if nxt not in state:
+                    visit(nxt, trail)
+            trail.pop()
+            state[node] = 1
+
+        for root in edges:
+            if root not in state:
+                visit(root, [])
+
+
+class CheckedLock:
+    """A ``threading.Lock``/``RLock`` wrapper that reports to a graph.
+
+    Supports the full lock protocol (``with``, ``acquire`` with
+    blocking/timeout, ``release``, ``locked``).  Only *successful*
+    acquisitions are recorded — a failed try-acquire establishes no
+    ordering.  The direct ``acquire``/``release`` delegation below is
+    exactly what the static ``lock-with-only`` rule exists to forbid
+    in ordinary code, hence the inline suppressions.
+    """
+
+    def __init__(
+        self,
+        graph: LockOrderGraph,
+        name: str,
+        inner: Any = None,
+        reentrant: bool = False,
+    ):
+        self._graph = graph
+        self.name = name
+        if inner is None:
+            inner = threading.RLock() if reentrant else threading.Lock()
+        self._inner = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)  # repolint: disable=lock-with-only
+        if got:
+            try:
+                self._graph.record_acquire(self.name)
+            except LockOrderError:
+                self._inner.release()  # repolint: disable=lock-with-only
+                raise
+        return got
+
+    def release(self) -> None:
+        self._graph.record_release(self.name)
+        self._inner.release()  # repolint: disable=lock-with-only
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        return bool(inner_locked()) if callable(inner_locked) else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()  # repolint: disable=lock-with-only
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        self.release()  # repolint: disable=lock-with-only
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckedLock({self.name!r})"
+
+
+class _ThreadingProxy(ModuleType):
+    """Stand-in for the ``threading`` module inside instrumented
+    modules: ``Lock``/``RLock`` construct checked locks named after
+    their creation site; everything else delegates to the real module.
+    """
+
+    def __init__(self, graph: LockOrderGraph, site: str):
+        super().__init__("threading")
+        self._graph = graph
+        self._site = site
+        self._counter = 0
+        self._counter_mutex = threading.Lock()
+
+    def _next_name(self, kind: str) -> str:
+        with self._counter_mutex:
+            self._counter += 1
+            return f"{self._site}.{kind}#{self._counter}"
+
+    def Lock(self) -> CheckedLock:  # noqa: N802 - mirrors threading.Lock
+        return CheckedLock(self._graph, self._next_name("Lock"))
+
+    def RLock(self) -> CheckedLock:  # noqa: N802 - mirrors threading.RLock
+        return CheckedLock(self._graph, self._next_name("RLock"), reentrant=True)
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(threading, attr)
+
+
+@contextmanager
+def instrumented_locks(
+    *modules: ModuleType, graph: LockOrderGraph | None = None
+) -> Iterator[LockOrderGraph]:
+    """Audit every lock the given modules create while the context is
+    active.
+
+    Each module's module-level ``threading`` binding is replaced with a
+    :class:`_ThreadingProxy`, so ``threading.Lock()`` calls made by
+    code in that module produce checked locks reporting into one
+    shared :class:`LockOrderGraph`.  Existing lock instances are
+    untouched — instrument *before* constructing the engine under
+    test.  The original bindings are restored on exit, even on error.
+
+    Usage (the engine-concurrency suite)::
+
+        with instrumented_locks(engine_mod, workers_mod, cache_mod) as graph:
+            with Engine(executor="threads") as engine:
+                ...
+        assert graph.acquisitions > 0
+        graph.assert_acyclic()
+    """
+    graph = graph if graph is not None else LockOrderGraph()
+    saved: list[tuple[ModuleType, Any]] = []
+    try:
+        for module in modules:
+            if not hasattr(module, "threading"):
+                raise ValueError(
+                    f"module {module.__name__!r} has no module-level "
+                    "'threading' binding to instrument"
+                )
+            saved.append((module, module.threading))
+            module.threading = _ThreadingProxy(graph, module.__name__)
+        yield graph
+    finally:
+        for module, original in saved:
+            module.threading = original

@@ -1,0 +1,45 @@
+"""Human and JSON reporters for a :class:`~repro.lint.runner.LintResult`.
+
+The human form is one ``path:line:col: rule: message`` line per
+finding with the fix-it hint indented below it.  The JSON form is the
+machine-readable artifact CI uploads: stable keys, diagnostics in
+reading order, plus the run's file and rule inventory so a consumer
+can tell "clean" apart from "didn't look".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .runner import LintResult
+
+__all__ = ["render_human", "render_json"]
+
+
+def render_human(result: LintResult) -> str:
+    if result.clean:
+        return (
+            f"clean: {len(result.files)} file(s), "
+            f"{len(result.rules)} rule(s), no findings"
+        )
+    lines: list[str] = []
+    for diag in result.diagnostics:
+        lines.append(diag.format())
+        if diag.hint:
+            lines.append(f"    hint: {diag.hint}")
+    lines.append(
+        f"{len(result.diagnostics)} finding(s) in {len(result.files)} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload: dict[str, Any] = {
+        "clean": result.clean,
+        "files": len(result.files),
+        "rules": result.rules,
+        "findings": len(result.diagnostics),
+        "diagnostics": [diag.as_dict() for diag in result.diagnostics],
+    }
+    return json.dumps(payload, indent=2)

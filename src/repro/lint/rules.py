@@ -1,0 +1,399 @@
+"""The project-invariant rules (see ``docs/static-analysis.md``).
+
+Each rule encodes one invariant that PRs 2-4 established in prose and
+that a regression would break silently:
+
+``no-fork``
+    forking from the threaded engine driver deadlocked the process
+    pool (a forked child can inherit another thread's held lock).
+``shm-lifecycle``
+    an unowned ``SharedMemory(create=True)`` segment leaks
+    ``/dev/shm`` space on every crash path.
+``lock-with-only``
+    a bare ``acquire`` without a ``finally`` leaves the lock held on
+    any exception between it and the ``release``.
+``injectable-clock``
+    direct wall-clock reads make span trees and queue-wait telemetry
+    untestable (and non-deterministic under the counting clock).
+``explicit-dtype``
+    the paper's Section 3 kernels are 64-bit index arithmetic; a
+    platform-dependent default integer (int32 on Windows) silently
+    corrupts successor indices above 2**31.
+``fingerprint-keyed-cache``
+    a result cached under anything but the blessed structural
+    fingerprint is a cache-poisoning hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .diagnostics import Diagnostic
+from .framework import LintContext, Rule, register
+
+__all__ = [
+    "ExplicitDtypeRule",
+    "FingerprintKeyedCacheRule",
+    "InjectableClockRule",
+    "LockWithOnlyRule",
+    "NoForkRule",
+    "ShmLifecycleRule",
+]
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing identifier of the called expression (``a.b.c()`` → ``c``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _receiver(node: ast.Call) -> ast.expr | None:
+    """The object a method call is made on (``a.b()`` → ``a``)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.value
+    return None
+
+
+def _const_str(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class NoForkRule(Rule):
+    """No ``fork`` start method anywhere under ``engine/``."""
+
+    name = "no-fork"
+    rationale = (
+        "fork from the multi-threaded engine driver can copy another "
+        "thread's held lock into the child, which then deadlocks "
+        "before running its first task"
+    )
+    hint = 'use get_context("forkserver") or get_context("spawn") instead'
+    paths = ("*/engine/*.py",)
+
+    _SETTERS = frozenset({"get_context", "set_start_method"})
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for call in _calls(context.tree):
+            name = _call_name(call)
+            requested: str | None = None
+            if name in self._SETTERS:
+                arg = call.args[0] if call.args else _keyword(call, "method")
+                requested = _const_str(arg)
+            elif _const_str(_keyword(call, "mp_context")) is not None:
+                requested = _const_str(_keyword(call, "mp_context"))
+            if requested == "fork":
+                yield self.diagnostic(
+                    context,
+                    call,
+                    f"{name or 'call'} requests the 'fork' start method "
+                    "under engine/",
+                )
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """Every created shared-memory segment must reach ``unlink``."""
+
+    name = "shm-lifecycle"
+    rationale = (
+        "a SharedMemory(create=True) segment outlives the process "
+        "unless some owner unlinks it; an unowned segment leaks "
+        "/dev/shm space on every crash path"
+    )
+    hint = (
+        "bind the segment in a try/finally that unlinks it, or append "
+        "it to a lease list an enclosing try/finally releases"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for call in _calls(context.tree):
+            if _call_name(call) != "SharedMemory":
+                continue
+            create = _keyword(call, "create")
+            if not (isinstance(create, ast.Constant) and create.value is True):
+                continue
+            if self._owned(context, call):
+                continue
+            yield self.diagnostic(
+                context,
+                call,
+                "SharedMemory(create=True) is not bound to an owner that "
+                "reaches unlink()",
+            )
+
+    def _owned(self, context: LintContext, call: ast.Call) -> bool:
+        parent = context.parent(call)
+        # `with SharedMemory(create=True) as shm:` — the with suite is
+        # the owner (still needs an unlink inside, but lifetime is
+        # explicit; the finally check below would not see __exit__)
+        if isinstance(parent, ast.withitem):
+            return True
+        if not (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            return False
+        bound = parent.targets[0].id
+        scope: ast.AST = context.enclosing_function(call) or context.tree
+        for other in _calls(scope):
+            name = _call_name(other)
+            recv = _receiver(other)
+            # ownership transfer: `leases.append(shm)` hands the
+            # segment to a tracked lease list released in a finally
+            if (
+                name == "append"
+                and len(other.args) == 1
+                and isinstance(other.args[0], ast.Name)
+                and other.args[0].id == bound
+            ):
+                return True
+            # direct release: `shm.unlink()` inside a finally suite
+            if (
+                name == "unlink"
+                and isinstance(recv, ast.Name)
+                and recv.id == bound
+                and context.in_finally(other)
+            ):
+                return True
+        return False
+
+
+@register
+class LockWithOnlyRule(Rule):
+    """No bare ``.acquire()``/``.release()`` on threading primitives."""
+
+    name = "lock-with-only"
+    rationale = (
+        "a bare acquire without a finally leaves the lock held forever "
+        "on any exception raised before the matching release"
+    )
+    hint = "replace the acquire/release pair with a `with lock:` block"
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for call in _calls(context.tree):
+            name = _call_name(call)
+            if name not in ("acquire", "release"):
+                continue
+            yield self.diagnostic(
+                context,
+                call,
+                f"bare .{name}() call outside a `with` block",
+            )
+
+
+@register
+class InjectableClockRule(Rule):
+    """Kernel/engine/trace modules read time only through an
+    injectable clock parameter."""
+
+    name = "injectable-clock"
+    rationale = (
+        "direct wall-clock reads make span trees and queue-wait "
+        "telemetry non-deterministic; every timed component takes an "
+        "injectable clock so tests drive a counting clock instead"
+    )
+    hint = (
+        "take a `clock: Callable[[], float]` parameter defaulting to "
+        "time.perf_counter (referencing the function is fine; calling "
+        "it inline is not)"
+    )
+    paths = ("*/core/*.py", "*/engine/*.py", "*/trace/*.py")
+
+    _CLOCKS = frozenset(
+        {"time", "perf_counter", "monotonic", "perf_counter_ns", "monotonic_ns"}
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        imported = self._imported_clocks(context.tree)
+        for call in _calls(context.tree):
+            func = call.func
+            flagged: str | None = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in self._CLOCKS
+            ):
+                flagged = f"time.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in imported:
+                flagged = f"time.{imported[func.id]}"
+            if flagged is not None:
+                yield self.diagnostic(
+                    context,
+                    call,
+                    f"direct {flagged}() call; clocks must be injected",
+                )
+
+    def _imported_clocks(self, tree: ast.Module) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._CLOCKS:
+                        out[alias.asname or alias.name] = alias.name
+        return out
+
+
+@register
+class ExplicitDtypeRule(Rule):
+    """Array constructors in the kernels must pass ``dtype=``."""
+
+    name = "explicit-dtype"
+    rationale = (
+        "the Section 3 kernels are 64-bit index arithmetic; numpy's "
+        "platform-default integer (int32 on Windows) silently corrupts "
+        "successor indices above 2**31"
+    )
+    hint = "pass dtype= explicitly (INDEX_DTYPE for successor arrays)"
+    paths = ("*/core/*.py", "*/engine/workers.py")
+
+    #: constructor name -> number of positional args after which the
+    #: dtype has been given positionally
+    _CONSTRUCTORS = {"empty": 2, "zeros": 2, "ones": 2, "full": 3, "arange": 4}
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for call in _calls(context.tree):
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+                and func.attr in self._CONSTRUCTORS
+            ):
+                continue
+            if _keyword(call, "dtype") is not None:
+                continue
+            if len(call.args) >= self._CONSTRUCTORS[func.attr]:
+                continue  # dtype given positionally
+            yield self.diagnostic(
+                context,
+                call,
+                f"np.{func.attr}(...) without an explicit dtype=",
+            )
+
+
+@register
+class FingerprintKeyedCacheRule(Rule):
+    """Cache keys may only come from the blessed fingerprint helper."""
+
+    name = "fingerprint-keyed-cache"
+    rationale = (
+        "engine/cache.py's fingerprint() is the one digest that keys "
+        "results; an ad-hoc key collides across structurally different "
+        "problems and poisons every later hit"
+    )
+    hint = "derive the key with repro.engine.cache.fingerprint(...)"
+    paths = ("*/engine/*.py",)
+
+    _EXEMPT = ("*/engine/cache.py",)
+
+    def applies_to(self, norm_path: str) -> bool:
+        from fnmatch import fnmatch
+
+        if any(fnmatch(norm_path, pat) for pat in self._EXEMPT):
+            return False
+        return super().applies_to(norm_path)
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for call in _calls(context.tree):
+            if _call_name(call) not in ("get", "put") or not call.args:
+                continue
+            recv = _receiver(call)
+            if not self._is_cache(recv):
+                continue
+            scope: ast.AST = context.enclosing_function(call) or context.tree
+            blessed_names, blessed_containers = self._blessings(scope)
+            if self._blessed_key(call.args[0], blessed_names, blessed_containers):
+                continue
+            yield self.diagnostic(
+                context,
+                call,
+                "cache key does not come from the blessed fingerprint() "
+                "helper",
+            )
+
+    @staticmethod
+    def _is_cache(recv: ast.expr | None) -> bool:
+        if isinstance(recv, ast.Name):
+            return "cache" in recv.id.lower()
+        if isinstance(recv, ast.Attribute):
+            return "cache" in recv.attr.lower()
+        return False
+
+    @staticmethod
+    def _is_fingerprint_call(node: ast.expr) -> bool:
+        return isinstance(node, ast.Call) and _call_name(node) == "fingerprint"
+
+    def _blessings(self, scope: ast.AST) -> tuple[set[str], set[str]]:
+        """Names assigned from ``fingerprint(...)`` and containers whose
+        items are such names (one level of taint, same scope)."""
+        names: set[str] = set()
+        containers: set[str] = set()
+        for node in ast.walk(scope):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if value is not None and self._is_fingerprint_call(value):
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        containers.add(target.value.id)
+        # second pass: container[...] = blessed_name
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in names
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        containers.add(target.value.id)
+        return names, containers
+
+    def _blessed_key(
+        self,
+        key: ast.expr,
+        blessed_names: set[str],
+        blessed_containers: set[str],
+    ) -> bool:
+        if self._is_fingerprint_call(key):
+            return True
+        if isinstance(key, ast.Name) and key.id in blessed_names:
+            return True
+        if (
+            isinstance(key, ast.Subscript)
+            and isinstance(key.value, ast.Name)
+            and key.value.id in blessed_containers
+        ):
+            return True
+        return False

@@ -1,0 +1,168 @@
+"""``# repolint: disable=RULE`` suppression comments.
+
+A trailing (or whole-line) comment of the form::
+
+    risky_call()  # repolint: disable=lock-with-only
+    # repolint: disable=explicit-dtype,no-fork
+
+suppresses diagnostics of the named rule(s) on that physical line.  A
+whole-line disable comment applies to the *next* code line as well, so
+a suppression can sit above the statement it covers without sharing
+its line.
+
+Suppressions are themselves checked: a disable comment that suppressed
+nothing in a run reports an ``unused-suppression`` diagnostic, so
+stale disables cannot silently accumulate and soften the gate.  The
+unused check only considers rules that were actually selected for the
+run — running a subset of rules never flags the other rules'
+suppressions as stale.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "UNUSED_SUPPRESSION",
+    "Suppression",
+    "apply_suppressions",
+    "find_suppressions",
+]
+
+#: pseudo-rule name carried by stale-disable diagnostics
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_DISABLE_RE = re.compile(
+    r"#\s*repolint:\s*disable=(?P<rules>[A-Za-z0-9_,\-\s]+)"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed disable comment.
+
+    ``line`` is where the comment sits; ``covers`` is the set of
+    physical lines it silences (its own line, plus the next code line
+    for whole-line comments).  ``used`` accumulates the rules that
+    actually had a diagnostic suppressed, for the unused check.
+    """
+
+    path: str
+    line: int
+    col: int
+    rules: tuple[str, ...]
+    covers: tuple[int, ...]
+    used: set[str] = field(default_factory=set)
+
+
+def find_suppressions(path: str, source: str) -> list[Suppression]:
+    """Scan one file's comments for ``repolint: disable`` markers.
+
+    Uses the tokenizer, not a line regex, so a marker inside a string
+    literal is never misread as a suppression.
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - runner
+        return out  # parse errors are reported by the runner instead
+    # line -> True when any non-comment token starts there (code lines)
+    code_lines: set[int] = set()
+    for tok in tokens:
+        if tok.type not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(tok.string)
+        if match is None:
+            continue
+        rules = tuple(
+            name.strip()
+            for name in match.group("rules").split(",")
+            if name.strip()
+        )
+        if not rules:
+            continue
+        line = tok.start[0]
+        covers = [line]
+        if line not in code_lines:
+            # whole-line comment: also cover the next code line below
+            following = [ln for ln in code_lines if ln > line]
+            if following:
+                covers.append(min(following))
+        out.append(
+            Suppression(
+                path=path,
+                line=line,
+                col=tok.start[1],
+                rules=rules,
+                covers=tuple(covers),
+            )
+        )
+    return out
+
+
+def apply_suppressions(
+    diagnostics: list[Diagnostic],
+    suppressions: list[Suppression],
+    selected_rules: set[str],
+    check_unused: bool = True,
+) -> list[Diagnostic]:
+    """Filter suppressed diagnostics; append stale-disable findings.
+
+    Every diagnostic whose ``(line, rule)`` is covered by a suppression
+    is dropped (and the suppression marked used).  With
+    ``check_unused``, each suppression naming a *selected* rule that
+    suppressed nothing becomes an ``unused-suppression`` diagnostic —
+    the gate stays exactly as strict as the set of disables that still
+    earn their keep.
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        for line in sup.covers:
+            by_line.setdefault(line, []).append(sup)
+
+    kept: list[Diagnostic] = []
+    for diag in diagnostics:
+        suppressed = False
+        for sup in by_line.get(diag.line, ()):
+            if diag.rule in sup.rules:
+                sup.used.add(diag.rule)
+                suppressed = True
+        if not suppressed:
+            kept.append(diag)
+
+    if check_unused:
+        for sup in suppressions:
+            stale = [
+                rule
+                for rule in sup.rules
+                if rule in selected_rules and rule not in sup.used
+            ]
+            for rule in stale:
+                kept.append(
+                    Diagnostic(
+                        path=sup.path,
+                        line=sup.line,
+                        col=sup.col,
+                        rule=UNUSED_SUPPRESSION,
+                        message=(
+                            f"suppression of {rule!r} matched no diagnostic"
+                        ),
+                        hint="delete the stale `# repolint: disable` comment",
+                    )
+                )
+    return kept

@@ -16,7 +16,6 @@ that composition:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -64,7 +63,7 @@ def reorder_by_rank(payload: np.ndarray, rank: np.ndarray) -> np.ndarray:
 
 
 def array_exclusive_scan(
-    values: np.ndarray, op: Operator = SUM, out: Optional[np.ndarray] = None
+    values: np.ndarray, op: Operator = SUM, out: np.ndarray | None = None
 ) -> np.ndarray:
     """Exclusive prescan of a plain array under ``op``.
 
@@ -85,7 +84,7 @@ def array_exclusive_scan(
 
 
 def array_inclusive_scan(
-    values: np.ndarray, op: Operator = SUM, out: Optional[np.ndarray] = None
+    values: np.ndarray, op: Operator = SUM, out: np.ndarray | None = None
 ) -> np.ndarray:
     """Inclusive scan of a plain array under ``op``."""
     values = np.asarray(values)
@@ -97,7 +96,7 @@ def array_inclusive_scan(
 
 def list_from_array(
     values: np.ndarray,
-    order: Optional[np.ndarray] = None,
+    order: np.ndarray | None = None,
 ) -> LinkedList:
     """Build a linked list whose list order is ``order`` (default: 0…n−1)
     carrying ``values`` as node payloads (``values`` indexed by node)."""

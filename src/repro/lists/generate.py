@@ -31,7 +31,6 @@ All generators return indices with dtype :data:`INDEX_DTYPE`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
 
 import numpy as np
 
@@ -117,14 +116,14 @@ class LinkedList:
 
 
 def _resolve_rng(
-    rng: Optional[Union[np.random.Generator, int]],
+    rng: np.random.Generator | int | None,
 ) -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
 
 
-def from_order(order: np.ndarray, values: Optional[np.ndarray] = None) -> LinkedList:
+def from_order(order: np.ndarray, values: np.ndarray | None = None) -> LinkedList:
     """Build a list that visits node ``order[0]``, ``order[1]``, … in turn.
 
     ``order`` must be a permutation of ``0 … n−1``.  The tail
@@ -165,8 +164,8 @@ def list_order(lst: LinkedList) -> np.ndarray:
 
 def random_list(
     n: int,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    values: Optional[np.ndarray] = None,
+    rng: np.random.Generator | int | None = None,
+    values: np.ndarray | None = None,
 ) -> LinkedList:
     """A list whose memory layout is a uniformly random permutation.
 
@@ -181,7 +180,7 @@ def random_list(
     return from_order(order, values)
 
 
-def ordered_list(n: int, values: Optional[np.ndarray] = None) -> LinkedList:
+def ordered_list(n: int, values: np.ndarray | None = None) -> LinkedList:
     """A list laid out sequentially in memory: node ``i`` links to ``i+1``."""
     if n < 1:
         raise ValueError("n must be >= 1")
@@ -190,7 +189,7 @@ def ordered_list(n: int, values: Optional[np.ndarray] = None) -> LinkedList:
     return LinkedList(nxt, 0, values)
 
 
-def reversed_list(n: int, values: Optional[np.ndarray] = None) -> LinkedList:
+def reversed_list(n: int, values: np.ndarray | None = None) -> LinkedList:
     """A list laid out in reverse memory order: node ``i`` links to ``i−1``."""
     if n < 1:
         raise ValueError("n must be >= 1")
@@ -202,8 +201,8 @@ def reversed_list(n: int, values: Optional[np.ndarray] = None) -> LinkedList:
 def blocked_list(
     n: int,
     block: int,
-    rng: Optional[Union[np.random.Generator, int]] = None,
-    values: Optional[np.ndarray] = None,
+    rng: np.random.Generator | int | None = None,
+    values: np.ndarray | None = None,
 ) -> LinkedList:
     """A ``block``-local list: list order is random *within* consecutive
     memory blocks, while blocks themselves are visited in order.
@@ -230,7 +229,7 @@ def blocked_list(
 def pathological_bank_list(
     n: int,
     stride: int,
-    values: Optional[np.ndarray] = None,
+    values: np.ndarray | None = None,
 ) -> LinkedList:
     """A list whose traversal gathers with a fixed memory stride.
 
@@ -255,7 +254,7 @@ def pathological_bank_list(
 
 def random_values(
     n: int,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
     low: int = -1000,
     high: int = 1000,
     dtype: np.dtype = np.int64,

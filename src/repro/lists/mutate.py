@@ -11,7 +11,7 @@ mutated.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from .generate import INDEX_DTYPE, LinkedList, from_order, list_order
 __all__ = ["concatenate", "split_after", "reverse", "splice_out", "extract"]
 
 
-def concatenate(lists: Sequence[LinkedList]) -> Tuple[LinkedList, np.ndarray]:
+def concatenate(lists: Sequence[LinkedList]) -> tuple[LinkedList, np.ndarray]:
     """Concatenate independent lists into one.
 
     Each input owns its own node space; the output's node space is
@@ -50,7 +50,7 @@ def concatenate(lists: Sequence[LinkedList]) -> Tuple[LinkedList, np.ndarray]:
     return from_order(full_order, values), offsets
 
 
-def extract(lst: LinkedList, start: int, length: int) -> Tuple[LinkedList, np.ndarray]:
+def extract(lst: LinkedList, start: int, length: int) -> tuple[LinkedList, np.ndarray]:
     """The compact sublist of ``length`` nodes beginning at ``start``.
 
     Returns ``(piece, node_ids)`` with ``node_ids[k]`` the original
@@ -75,7 +75,7 @@ def extract(lst: LinkedList, start: int, length: int) -> Tuple[LinkedList, np.nd
 
 def split_after(
     lst: LinkedList, nodes: Sequence[int]
-) -> List[Tuple[LinkedList, np.ndarray]]:
+) -> list[tuple[LinkedList, np.ndarray]]:
     """Split the list after each node in ``nodes``.
 
     Returns the pieces in list order as ``(piece, node_ids)`` pairs —
@@ -110,7 +110,7 @@ def reverse(lst: LinkedList) -> LinkedList:
 
 def splice_out(
     lst: LinkedList, start: int, stop: int
-) -> Tuple[Tuple[LinkedList, np.ndarray], Tuple[LinkedList, np.ndarray]]:
+) -> tuple[tuple[LinkedList, np.ndarray], tuple[LinkedList, np.ndarray]]:
     """Remove the segment from ``start`` through ``stop`` (inclusive).
 
     ``start`` must not come after ``stop`` in list order, and at least

@@ -24,7 +24,6 @@ This module connects those measurements to the machine model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from .config import CRAY_C90, MachineConfig
@@ -40,7 +39,7 @@ __all__ = [
 #: Instruction inventories per kernel, straight from the paper's
 #: Section 3 prose: (gathers, scatters, loads, stores, elementwise,
 #: compress, rng) *per element of the operated-on vector*.
-_INVENTORIES: Dict[str, Tuple[float, float, float, float, float, float, float]] = {
+_INVENTORIES: dict[str, tuple[float, float, float, float, float, float, float]] = {
     # "requires a load and a gather, and to save sl.head requires a
     # store … gathers ll.value … two scatter operations … initializes
     # the virtual processor vectors" + GEN_TAILS random positions
@@ -66,7 +65,7 @@ _INVENTORIES: Dict[str, Tuple[float, float, float, float, float, float, float]] 
 }
 
 #: Number of vector instructions per kernel (for the issue constants).
-_N_INSTR: Dict[str, int] = {
+_N_INSTR: dict[str, int] = {
     "initialize": 11,
     "initial_rank": 6,
     "initial_pack": 11,
@@ -77,7 +76,7 @@ _N_INSTR: Dict[str, int] = {
 }
 
 #: The paper's measured scalar-overhead intercepts (C-90 clocks).
-_PAPER_CONSTS: Dict[str, float] = {
+_PAPER_CONSTS: dict[str, float] = {
     "initialize": 8700.0,
     "initial_rank": 80.0,
     "initial_pack": 540.0,
@@ -100,9 +99,9 @@ class KernelModel:
         return self.per_elem * x + self.const
 
 
-def derive_rates(config: MachineConfig = CRAY_C90) -> Dict[str, KernelModel]:
+def derive_rates(config: MachineConfig = CRAY_C90) -> dict[str, KernelModel]:
     """Derive every kernel's linear cost from its instruction inventory."""
-    out: Dict[str, KernelModel] = {}
+    out: dict[str, KernelModel] = {}
     for name, (g, sc, ld, st, ew, cp, rg) in _INVENTORIES.items():
         n_instr = _N_INSTR[name]
         per_elem = (
@@ -153,7 +152,7 @@ def to_kernel_costs(config: MachineConfig = CRAY_C90) -> KernelCosts:
     )
 
 
-def paper_equations() -> Dict[str, Tuple[float, float]]:
+def paper_equations() -> dict[str, tuple[float, float]]:
     """The published (a, b) pairs from Section 3."""
     c = PAPER_C90_COSTS
     return {
@@ -170,7 +169,7 @@ def paper_equations() -> Dict[str, Tuple[float, float]]:
 
 def compare_with_paper(
     config: MachineConfig = CRAY_C90,
-) -> Dict[str, Dict[str, float]]:
+) -> dict[str, dict[str, float]]:
     """Derived-vs-paper comparison table: slope, intercept, relative error.
 
     Used by ``benchmarks/bench_kernels.py`` to regenerate the Section 3
@@ -179,7 +178,7 @@ def compare_with_paper(
     """
     derived = derive_rates(config)
     paper = paper_equations()
-    table: Dict[str, Dict[str, float]] = {}
+    table: dict[str, dict[str, float]] = {}
     for name, (a_paper, b_paper) in paper.items():
         model = derived[name]
         table[name] = {

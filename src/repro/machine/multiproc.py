@@ -14,7 +14,7 @@ synchronization points should be minimized").
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from .vm import VectorVM
 __all__ = ["shard_slices", "combine_parallel", "make_vms"]
 
 
-def shard_slices(n_items: int, n_shards: int) -> List[slice]:
+def shard_slices(n_items: int, n_shards: int) -> list[slice]:
     """Split ``range(n_items)`` into ``n_shards`` contiguous chunks whose
     sizes differ by at most one ("direct the compiler to divide the
     loops into equal size chunks, one chunk per processor")."""
@@ -32,7 +32,7 @@ def shard_slices(n_items: int, n_shards: int) -> List[slice]:
         raise ValueError("n_shards must be >= 1")
     base = n_items // n_shards
     extra = n_items % n_shards
-    out: List[slice] = []
+    out: list[slice] = []
     start = 0
     for j in range(n_shards):
         size = base + (1 if j < extra else 0)
@@ -45,7 +45,7 @@ def make_vms(
     config: MachineConfig = CRAY_C90,
     n_processors: int = 1,
     bank_conflicts: bool = True,
-) -> List[VectorVM]:
+) -> list[VectorVM]:
     """One :class:`VectorVM` per simulated CPU."""
     if n_processors < 1:
         raise ValueError("n_processors must be >= 1")

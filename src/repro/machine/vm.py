@@ -21,7 +21,6 @@ these ledgers; see ``machine.calibration``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 import numpy as np
 
@@ -36,8 +35,8 @@ class CycleLedger:
     """Cycle totals by category plus operation counts."""
 
     total: float = 0.0
-    by_category: Dict[str, float] = field(default_factory=dict)
-    op_counts: Dict[str, int] = field(default_factory=dict)
+    by_category: dict[str, float] = field(default_factory=dict)
+    op_counts: dict[str, int] = field(default_factory=dict)
 
     def charge(self, category: str, cycles: float) -> None:
         self.total += cycles
@@ -108,7 +107,7 @@ class VectorVM:
             cost += strips * cfg.strip_startup + cfg.call_const
         self.ledger.charge(self._category, cost)
 
-    def charge_cycles(self, cycles: float, category: Optional[str] = None) -> None:
+    def charge_cycles(self, cycles: float, category: str | None = None) -> None:
         """Charge raw cycles (used for modelled costs like RNG setup)."""
         self.ledger.charge(category or self._category, float(cycles))
 
@@ -156,7 +155,7 @@ class VectorVM:
         return arr
 
     def store(
-        self, dst: np.ndarray, src, chained: bool = False, n: Optional[int] = None
+        self, dst: np.ndarray, src, chained: bool = False, n: int | None = None
     ) -> np.ndarray:
         """Stride-1 vector store ``dst[...] = src``."""
         count = n if n is not None else dst.shape[0]
@@ -168,7 +167,7 @@ class VectorVM:
     # compute operations
     # ------------------------------------------------------------------
 
-    def ew(self, fn, *arrays, chained: bool = False, n: Optional[int] = None):
+    def ew(self, fn, *arrays, chained: bool = False, n: int | None = None):
         """Elementwise vector operation ``fn(*arrays)`` (add, compare, …)."""
         count = n if n is not None else int(np.asarray(arrays[0]).shape[0])
         self._charge(count, self.config.ew_rate, chained)
@@ -226,7 +225,7 @@ class _Region:
     def __init__(self, vm: VectorVM, category: str) -> None:
         self._vm = vm
         self._category = category
-        self._prev: Optional[str] = None
+        self._prev: str | None = None
 
     def __enter__(self) -> VectorVM:
         self._prev = self._vm._category

@@ -21,7 +21,6 @@ gather, one combine, one scatter per node.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -74,9 +73,9 @@ def stats_to_cycles(stats: ScanStats, config: MachineConfig) -> dict:
 
 def random_mate_scan_sim(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     config: MachineConfig = CRAY_C90,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> SimResult:
     """Simulated Miller/Reif random-mate scan (single processor)."""
     op = get_operator(op)
@@ -95,9 +94,9 @@ def random_mate_scan_sim(
 
 def anderson_miller_scan_sim(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     config: MachineConfig = CRAY_C90,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    rng: np.random.Generator | int | None = None,
 ) -> SimResult:
     """Simulated Anderson/Miller queued-splice scan (single processor)."""
     op = get_operator(op)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 import numpy as np
 
@@ -42,8 +41,8 @@ class SimResult:
     config: MachineConfig
     n: int
     n_processors: int = 1
-    per_cpu_cycles: List[float] = field(default_factory=list)
-    breakdown: Dict[str, float] = field(default_factory=dict)
+    per_cpu_cycles: list[float] = field(default_factory=list)
+    breakdown: dict[str, float] = field(default_factory=dict)
 
     @property
     def time_ns(self) -> float:

@@ -9,7 +9,6 @@ model.
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 
@@ -25,7 +24,7 @@ __all__ = ["serial_scan_sim", "serial_rank_sim"]
 
 def serial_scan_sim(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     config: MachineConfig = CRAY_C90,
     inclusive: bool = False,
 ) -> SimResult:

@@ -26,7 +26,6 @@ Multiprocessing follows the paper's Section 5 exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
 import numpy as np
 
@@ -50,8 +49,8 @@ __all__ = ["SimSublistConfig", "sublist_scan_sim", "sublist_rank_sim"]
 class SimSublistConfig:
     """Parameters of a simulated sublist-scan run."""
 
-    m: Optional[int] = None
-    s1: Optional[float] = None
+    m: int | None = None
+    s1: float | None = None
     splitters: str = "spaced"
     serial_cutoff: int = SERIAL_CUTOFF
     wyllie_cutoff: int = WYLLIE_CUTOFF
@@ -63,11 +62,11 @@ class SimSublistConfig:
 
 def sublist_scan_sim(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     config: MachineConfig = CRAY_C90,
     n_processors: int = 1,
-    sim_config: Optional[SimSublistConfig] = None,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    sim_config: SimSublistConfig | None = None,
+    rng: np.random.Generator | int | None = None,
     inclusive: bool = False,
     _depth: int = 0,
 ) -> SimResult:
@@ -273,10 +272,10 @@ def _run_phase(
     nxt: np.ndarray,
     values: np.ndarray,
     sl_head: np.ndarray,
-    carries: Optional[np.ndarray],
-    sl_sum: Optional[np.ndarray],
-    sl_tail: Optional[np.ndarray],
-    out: Optional[np.ndarray],
+    carries: np.ndarray | None,
+    sl_sum: np.ndarray | None,
+    sl_tail: np.ndarray | None,
+    out: np.ndarray | None,
     shards,
     schedule,
     cfg: SimSublistConfig,
@@ -339,8 +338,8 @@ def sublist_rank_sim(
     lst: LinkedList,
     config: MachineConfig = CRAY_C90,
     n_processors: int = 1,
-    sim_config: Optional[SimSublistConfig] = None,
-    rng: Optional[Union[np.random.Generator, int]] = None,
+    sim_config: SimSublistConfig | None = None,
+    rng: np.random.Generator | int | None = None,
 ) -> SimResult:
     """Simulated list ranking via the sublist algorithm."""
     ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))

@@ -18,7 +18,6 @@ and drifts down between teeth as the per-round constants amortize.
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 
@@ -35,7 +34,7 @@ __all__ = ["wyllie_scan_sim", "wyllie_rank_sim"]
 
 def wyllie_scan_sim(
     lst: LinkedList,
-    op: Union[Operator, str] = SUM,
+    op: Operator | str = SUM,
     config: MachineConfig = CRAY_C90,
     n_processors: int = 1,
     inclusive: bool = False,

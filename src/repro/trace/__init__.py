@@ -29,7 +29,7 @@ machinery, which must stay import-cycle-free from ``core``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from .tracer import (
     NULL_TRACER,
@@ -97,7 +97,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     try:
         module_name, attr = _LAZY[name]
     except KeyError:
@@ -107,5 +107,5 @@ def __getattr__(name: str):
     return getattr(importlib.import_module(module_name), attr)
 
 
-def __dir__():
+def __dir__() -> list[str]:
     return sorted(set(globals()) | set(_LAZY))

@@ -17,7 +17,9 @@ without a custom encoder.
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, Iterable, List, Optional, Union
+from contextlib import suppress
+from collections.abc import Iterable
+from typing import Any, IO
 
 from .tracer import Event, Span, Tracer
 
@@ -48,20 +50,16 @@ def jsonable(value: Any) -> Any:
         return [jsonable(v) for v in value]
     item = getattr(value, "item", None)
     if callable(item):  # NumPy scalar (0-d)
-        try:
+        with suppress(TypeError, ValueError):
             return jsonable(item())
-        except (TypeError, ValueError):
-            pass
     tolist = getattr(value, "tolist", None)
     if callable(tolist):  # NumPy array
-        try:
+        with suppress(TypeError, ValueError):
             return jsonable(tolist())
-        except (TypeError, ValueError):
-            pass
     return repr(value)
 
 
-def _event_to_dict(event: Event) -> Dict[str, Any]:
+def _event_to_dict(event: Event) -> dict[str, Any]:
     return {
         "name": event.name,
         "t": jsonable(event.t),
@@ -69,7 +67,7 @@ def _event_to_dict(event: Event) -> Dict[str, Any]:
     }
 
 
-def span_to_dict(span: Span) -> Dict[str, Any]:
+def span_to_dict(span: Span) -> dict[str, Any]:
     """Nested dict form of one span subtree."""
     return {
         "name": span.name,
@@ -82,7 +80,7 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
     }
 
 
-def span_from_dict(data: Dict[str, Any]) -> Span:
+def span_from_dict(data: dict[str, Any]) -> Span:
     """Rebuild a :class:`Span` subtree from its :func:`span_to_dict` form.
 
     This is the return leg of the engine's process-pool driver: a
@@ -104,7 +102,7 @@ def span_from_dict(data: Dict[str, Any]) -> Span:
     return span
 
 
-def trace_to_dict(trace: Union[Tracer, Span, Iterable[Span]]) -> Dict[str, Any]:
+def trace_to_dict(trace: Tracer | Span | Iterable[Span]) -> dict[str, Any]:
     """The whole trace (a tracer, one span, or an iterable of spans)
     as ``{"roots": [...]}``."""
     if isinstance(trace, Tracer):
@@ -116,13 +114,13 @@ def trace_to_dict(trace: Union[Tracer, Span, Iterable[Span]]) -> Dict[str, Any]:
     return {"roots": [span_to_dict(root) for root in roots]}
 
 
-def to_json(trace: Union[Tracer, Span, Iterable[Span]], indent: Optional[int] = 2) -> str:
+def to_json(trace: Tracer | Span | Iterable[Span], indent: int | None = 2) -> str:
     """JSON text of :func:`trace_to_dict`."""
     return json.dumps(trace_to_dict(trace), indent=indent)
 
 
 def write_jsonl(
-    trace: Union[Tracer, Span, Iterable[Span]],
+    trace: Tracer | Span | Iterable[Span],
     fp: IO[str],
 ) -> int:
     """Write one JSON object per span (events inline), DFS order.
@@ -131,7 +129,7 @@ def write_jsonl(
     reconstructable from a flat stream; returns the number of lines.
     """
     if isinstance(trace, Tracer):
-        roots: List[Span] = list(trace.roots)
+        roots: list[Span] = list(trace.roots)
     elif isinstance(trace, Span):
         roots = [trace]
     else:
@@ -139,7 +137,7 @@ def write_jsonl(
     count = 0
     next_id = iter(range(1, 1 << 62))
 
-    def emit(span: Span, parent_id: Optional[int]) -> None:
+    def emit(span: Span, parent_id: int | None) -> None:
         nonlocal count
         span_id = next(next_id)
         row = {
@@ -176,7 +174,7 @@ def _format_duration(duration: float) -> str:
     return f"{duration * 1e6:.1f}us"
 
 
-def _format_attrs(attrs: Dict[str, Any]) -> str:
+def _format_attrs(attrs: dict[str, Any]) -> str:
     if not attrs:
         return ""
     parts = []
@@ -192,7 +190,7 @@ def _format_attrs(attrs: Dict[str, Any]) -> str:
 
 
 def format_tree(
-    trace: Union[Tracer, Span, Iterable[Span]],
+    trace: Tracer | Span | Iterable[Span],
     events: bool = True,
     max_events: int = 40,
 ) -> str:
@@ -203,12 +201,12 @@ def format_tree(
     long Phase 1 stays readable.
     """
     if isinstance(trace, Tracer):
-        roots: List[Span] = list(trace.roots)
+        roots: list[Span] = list(trace.roots)
     elif isinstance(trace, Span):
         roots = [trace]
     else:
         roots = list(trace)
-    lines: List[str] = []
+    lines: list[str] = []
 
     def emit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
         connector = "" if is_root else ("`- " if is_last else "|- ")

@@ -37,7 +37,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from collections.abc import Callable, Iterator
+from typing import Any
 
 __all__ = [
     "Event",
@@ -60,7 +61,7 @@ class Event:
 
     __slots__ = ("name", "t", "attrs")
 
-    def __init__(self, name: str, t: float, attrs: Dict[str, Any]):
+    def __init__(self, name: str, t: float, attrs: dict[str, Any]):
         self.name = name
         self.t = t
         self.attrs = attrs
@@ -79,13 +80,13 @@ class Span:
 
     __slots__ = ("name", "t0", "t1", "attrs", "children", "events")
 
-    def __init__(self, name: str, t0: float, attrs: Optional[Dict[str, Any]] = None):
+    def __init__(self, name: str, t0: float, attrs: dict[str, Any] | None = None):
         self.name = name
         self.t0 = t0
-        self.t1: Optional[float] = None
-        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
-        self.children: List["Span"] = []
-        self.events: List[Event] = []
+        self.t1: float | None = None
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.children: list["Span"] = []
+        self.events: list[Event] = []
 
     @property
     def duration(self) -> float:
@@ -98,18 +99,18 @@ class Span:
         for child in self.children:
             yield from child.walk()
 
-    def find(self, name: str) -> Optional["Span"]:
+    def find(self, name: str) -> Span | None:
         """First span named ``name`` in this subtree (DFS), or ``None``."""
         for span in self.walk():
             if span.name == name:
                 return span
         return None
 
-    def find_all(self, name: str) -> List["Span"]:
+    def find_all(self, name: str) -> list["Span"]:
         """Every span named ``name`` in this subtree, in DFS order."""
         return [span for span in self.walk() if span.name == name]
 
-    def events_named(self, name: str) -> List[Event]:
+    def events_named(self, name: str) -> list[Event]:
         """This span's own events of one type, in emission order."""
         return [event for event in self.events if event.name == name]
 
@@ -135,7 +136,7 @@ class _NoopHandle:
 _NOOP_HANDLE = _NoopHandle()
 
 
-def null_span(name: str, parent: Optional[Span] = None, **attrs: Any) -> _NoopHandle:
+def null_span(name: str, parent: Span | None = None, **attrs: Any) -> _NoopHandle:
     """Stand-in for ``tracer.span`` when no tracer is attached.
 
     Kernels bind ``span = tracer.span if tracer is not None else
@@ -154,14 +155,14 @@ class _SpanHandle:
         self,
         tracer: "Tracer",
         name: str,
-        parent: Optional[Span],
-        attrs: Dict[str, Any],
+        parent: Span | None,
+        attrs: dict[str, Any],
     ):
         self._tracer = tracer
         self._name = name
         self._parent = parent
         self._attrs = attrs
-        self.span: Optional[Span] = None
+        self.span: Span | None = None
 
     def __enter__(self) -> Span:
         tracer = self._tracer
@@ -210,24 +211,24 @@ class Tracer:
 
     def __init__(
         self,
-        clock: Optional[Callable[[], float]] = None,
+        clock: Callable[[], float] | None = None,
         enabled: bool = True,
     ):
         self.clock = clock if clock is not None else time.perf_counter
         self.enabled = bool(enabled)
-        self.roots: List[Span] = []
+        self.roots: list[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
 
-    def _stack(self) -> List[Span]:
+    def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
     def span(
-        self, name: str, parent: Optional[Span] = None, **attrs: Any
-    ) -> Union[_SpanHandle, _NoopHandle]:
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> _SpanHandle | _NoopHandle:
         """Open a span as a context manager.
 
         ``parent`` pins the span under an explicit parent (needed when
@@ -260,7 +261,7 @@ class Tracer:
             stack[-1].attrs.update(attrs)
 
     def adopt(
-        self, spans: List[Span], parent: Optional[Span] = None
+        self, spans: list[Span], parent: Span | None = None
     ) -> None:
         """Attach already-built spans under ``parent`` (or as roots).
 
@@ -281,7 +282,7 @@ class Tracer:
             else:
                 parent.children.extend(spans)
 
-    def current(self) -> Optional[Span]:
+    def current(self) -> Span | None:
         """The current thread's innermost open span, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
@@ -292,7 +293,7 @@ class Tracer:
             self.roots = []
         self._local = threading.local()
 
-    def last_root(self) -> Optional[Span]:
+    def last_root(self) -> Span | None:
         """The most recently started root span, if any."""
         with self._lock:
             return self.roots[-1] if self.roots else None
@@ -304,7 +305,7 @@ class Tracer:
 NULL_TRACER = Tracer(enabled=False)
 
 
-def resolve_trace(trace: Union[None, str, Tracer]) -> Optional[Tracer]:
+def resolve_trace(trace: None | str | Tracer) -> Tracer | None:
     """Normalize a ``trace=`` argument.
 
     ``None`` → ``None`` (hooks skipped entirely); ``"off"`` → the

@@ -1,0 +1,17 @@
+"""Bad fixture: takes a lock with bare acquire/release calls.
+
+Expected finding: ``lock-with-only`` (an exception between ``acquire``
+and ``release`` leaves the lock held forever; use ``with``).
+"""
+
+import threading
+
+_lock = threading.Lock()
+_count = 0
+
+
+def bump():
+    global _count
+    _lock.acquire()
+    _count += 1
+    _lock.release()

@@ -1,0 +1,11 @@
+"""Bad fixture: allocates an array without an explicit dtype in core.
+
+Expected finding: ``explicit-dtype`` (platform-default dtypes vary;
+kernels must pin ``dtype=`` so results and memory use are portable).
+"""
+
+import numpy as np
+
+
+def workspace(n):
+    return np.zeros(n)

@@ -1,0 +1,12 @@
+"""Bad fixture: reads the wall clock directly inside a core module.
+
+Expected finding: ``injectable-clock`` (kernel and trace timing must
+flow through an injectable clock parameter so tests stay
+deterministic).
+"""
+
+import time
+
+
+def stamp():
+    return time.perf_counter()

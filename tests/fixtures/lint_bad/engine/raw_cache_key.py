@@ -1,0 +1,15 @@
+"""Bad fixture: caches a scan result under a hand-rolled key.
+
+Expected finding: ``fingerprint-keyed-cache`` (keys must come from the
+blessed ``repro.engine.cache.fingerprint`` helper so equal problems
+always collide and unequal ones never do).
+"""
+
+
+class Service:
+    def __init__(self, cache):
+        self.cache = cache
+
+    def lookup(self, lst, op):
+        key = (lst.n, op.name)
+        return self.cache.get(key)

@@ -1,0 +1,11 @@
+"""Bad fixture: requests the fork start method inside an engine module.
+
+Expected finding: ``no-fork`` (fork from a multi-threaded driver can
+copy a held lock into the child and deadlock it).
+"""
+
+import multiprocessing as mp
+
+
+def make_pool_context():
+    return mp.get_context("fork")

@@ -1,0 +1,13 @@
+"""Bad fixture: creates a shared-memory segment that is never unlinked.
+
+Expected finding: ``shm-lifecycle`` (a ``SharedMemory(create=True)``
+with no ``unlink`` in a ``finally`` block, no ``with`` statement and no
+ownership transfer leaks the segment past process exit).
+"""
+
+from multiprocessing import shared_memory
+
+
+def leak(nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm.name

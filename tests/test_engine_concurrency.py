@@ -6,6 +6,13 @@ batch mixing poisoned, coalesced and cached requests — and on every
 backend the responses keep request order, errors stay isolated to
 their own requests, and the engine's counters reconcile with the
 cache's own probe accounting.
+
+Every test in this module additionally runs under the runtime
+lock-order checker (``repro.lint.lockorder``): the engine modules'
+locks are swapped for instrumented wrappers that record the
+acquisition-order graph and raise at the first acquisition that could
+deadlock, so the thread/process drivers are race-audited on every CI
+run, not just when a deadlock happens to strike.
 """
 
 import threading
@@ -13,11 +20,31 @@ import threading
 import numpy as np
 import pytest
 
+import repro.engine.cache as cache_mod
+import repro.engine.engine as engine_mod
+import repro.engine.workers as workers_mod
 from repro.baselines.serial import serial_list_scan
 from repro.core.operators import SUM
 from repro.engine import Engine, ScanRequest
 from repro.engine.workers import EXECUTORS
+from repro.lint.lockorder import instrumented_locks
 from repro.lists.generate import random_list, random_values
+
+
+@pytest.fixture(autouse=True)
+def lock_order_audit():
+    """Race-audit every test: engine locks become checked locks.
+
+    The fixture instruments the modules *before* the test constructs
+    its Engine (so the engine's own ``threading.Lock()`` calls produce
+    checked locks), lets any lock-order violation raise inside the
+    test, and re-verifies the recorded graph stayed acyclic at
+    teardown.
+    """
+    with instrumented_locks(engine_mod, workers_mod, cache_mod) as graph:
+        yield graph
+    assert graph.acquisitions > 0, "audit saw no lock activity"
+    graph.assert_acyclic()
 
 
 def healthy_list(n, seed):

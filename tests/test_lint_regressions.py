@@ -1,0 +1,79 @@
+"""Regression tests for the real violations the static analyzer
+surfaced when first run on the tree (see docs/static-analysis.md).
+
+Two classes of finding were real and fixed in the same change:
+
+* ``explicit-dtype`` — ``every_step_schedule`` built its pack schedule
+  with a platform-default dtype.
+* ``injectable-clock`` — the engine and the submission queue read
+  ``time.perf_counter()`` directly, so queue-wait telemetry could not
+  be driven deterministically from tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import every_step_schedule
+from repro.engine import Engine
+from repro.engine.queue import ScanRequest, SubmissionQueue
+from repro.lists.generate import random_list
+
+
+class CountingClock:
+    """Deterministic clock: 0.0, 1.0, 2.0, … per call."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __call__(self) -> float:
+        value = float(self.calls)
+        self.calls += 1
+        return value
+
+
+def test_every_step_schedule_dtype_is_pinned():
+    sched = every_step_schedule(1 << 12, 64)
+    assert sched.dtype == np.float64
+    assert sched[0] == 1.0
+    assert np.all(np.diff(sched) == 1.0)
+
+
+def test_queue_stamps_admission_with_injected_clock():
+    clock = CountingClock()
+    queue = SubmissionQueue(clock=clock)
+    reqs = [ScanRequest(random_list(16, rng=i)) for i in range(3)]
+    for req in reqs:
+        queue.submit(req)
+    assert [req.submitted_at for req in reqs] == [0.0, 1.0, 2.0]
+    assert clock.calls == 3
+
+
+def test_queue_defaults_to_perf_counter():
+    import time
+
+    assert SubmissionQueue().clock is time.perf_counter
+
+
+def test_engine_shares_its_clock_with_the_queue():
+    clock = CountingClock()
+    with Engine(executor="sync", clock=clock) as engine:
+        assert engine.clock is clock
+        assert engine.queue.clock is clock
+        engine.submit(random_list(64, rng=1))
+        responses = engine.flush()
+    assert len(responses) == 1
+    assert responses[0].ok
+    # admission stamp and batch timing both came from the fake clock
+    assert clock.calls > 1
+
+
+def test_engine_results_unaffected_by_clock_injection():
+    lst = random_list(256, rng=7)
+    with Engine(executor="sync", cache_capacity=0) as plain:
+        expected = plain.scan(lst)
+    with Engine(
+        executor="sync", cache_capacity=0, clock=CountingClock()
+    ) as faked:
+        got = faked.scan(lst)
+    np.testing.assert_array_equal(got, expected)

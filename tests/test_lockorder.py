@@ -1,0 +1,252 @@
+"""Unit tests for the runtime lock-order checker.
+
+The checker must raise on the first acquisition that *could* deadlock
+(an AB/BA order inversion), stay quiet on consistent orders and RLock
+reentrancy, ignore failed try-acquires, and restore instrumented
+modules exactly on exit.  The integration with the engine lives in
+``tests/test_engine_concurrency.py``; this file exercises the
+machinery directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import types
+
+import pytest
+
+from repro.lint.lockorder import (
+    CheckedLock,
+    LockOrderError,
+    LockOrderGraph,
+    instrumented_locks,
+)
+
+
+def make_locks(*names):
+    graph = LockOrderGraph()
+    return graph, [CheckedLock(graph, name) for name in names]
+
+
+# ---------------------------------------------------------------------------
+# cycle detection
+# ---------------------------------------------------------------------------
+
+
+def test_consistent_order_is_silent():
+    graph, (a, b, c) = make_locks("A", "B", "C")
+    for _ in range(3):
+        with a, b, c:
+            pass
+    assert graph.edge_count() == 3  # A->B, A->C, B->C
+    graph.assert_acyclic()
+
+
+def test_ab_ba_inversion_raises_at_acquire_time():
+    graph, (a, b) = make_locks("A", "B")
+    with a, b:
+        pass
+    with b, pytest.raises(LockOrderError) as excinfo:
+        a.acquire()
+    err = excinfo.value
+    assert err.acquiring == "A"
+    assert err.held == "B"
+    assert "A" in str(err) and "B" in str(err)
+
+
+def test_offending_edge_is_not_recorded():
+    graph, (a, b) = make_locks("A", "B")
+    with a, b:
+        pass
+    with b, pytest.raises(LockOrderError):
+        a.acquire()
+    # the caught violation must not poison the graph for teardown
+    graph.assert_acyclic()
+    assert graph.edges() == {"A": frozenset({"B"}), "B": frozenset()}
+
+
+def test_failed_violation_leaves_lock_released():
+    graph, (a, b) = make_locks("A", "B")
+    with a, b:
+        pass
+    with b, pytest.raises(LockOrderError):
+        a.acquire()
+    # A was rolled back on the failed checked-acquire: still available
+    assert a.acquire(blocking=False)
+    a.release()
+
+
+def test_three_lock_cycle_detected():
+    graph, (a, b, c) = make_locks("A", "B", "C")
+    with a, b:
+        pass
+    with b, c:
+        pass
+    with c, pytest.raises(LockOrderError) as excinfo:
+        a.acquire()
+    assert excinfo.value.cycle[0] == "A"
+
+
+def test_rlock_reentrancy_is_not_a_cycle():
+    graph = LockOrderGraph()
+    r = CheckedLock(graph, "R", reentrant=True)
+    with r, r:
+        pass
+    graph.assert_acyclic()
+    assert graph.edges().get("R") == frozenset()
+
+
+def test_failed_try_acquire_establishes_no_ordering():
+    graph, (a, b) = make_locks("A", "B")
+    with a, b:
+        pass
+
+    order_error = []
+
+    def contender():
+        # B is held by the main thread: this try-acquire fails and must
+        # record nothing, so the later A-after-B check cannot fire here
+        assert not b.acquire(blocking=False)
+
+    with b:
+        t = threading.Thread(target=contender)
+        t.start()
+        t.join()
+    assert not order_error
+    assert graph.acquisitions == 3  # a, b, and the outer b — not the failed try
+
+
+def test_cross_thread_inversion_detected():
+    graph, (a, b) = make_locks("A", "B")
+
+    def thread_one():
+        with a, b:
+            pass
+
+    t = threading.Thread(target=thread_one)
+    t.start()
+    t.join()
+
+    failures = []
+
+    def thread_two():
+        try:
+            with b, a:
+                pass
+        except LockOrderError as exc:
+            failures.append(exc)
+
+    t2 = threading.Thread(target=thread_two)
+    t2.start()
+    t2.join()
+    assert len(failures) == 1
+
+
+def test_held_stack_is_per_thread():
+    graph, (a,) = make_locks("A")
+    with a:
+        seen = []
+        t = threading.Thread(
+            target=lambda: seen.append(graph.held_by_current_thread())
+        )
+        t.start()
+        t.join()
+        assert seen == [()]
+        assert graph.held_by_current_thread() == ("A",)
+
+
+def test_assert_acyclic_catches_a_hand_built_cycle():
+    graph = LockOrderGraph()
+    graph._edges = {"A": {"B"}, "B": {"A"}}
+    with pytest.raises(LockOrderError):
+        graph.assert_acyclic()
+
+
+# ---------------------------------------------------------------------------
+# CheckedLock protocol
+# ---------------------------------------------------------------------------
+
+
+def test_checked_lock_protocol():
+    graph, (a,) = make_locks("A")
+    assert not a.locked()
+    with a:
+        assert a.locked()
+    assert not a.locked()
+    assert "A" in repr(a)
+
+
+def test_release_tolerates_out_of_order():
+    graph, (a, b) = make_locks("A", "B")
+    a.acquire()
+    b.acquire()
+    a.release()  # out-of-LIFO release: allowed, just unusual
+    b.release()
+    graph.assert_acyclic()
+
+
+# ---------------------------------------------------------------------------
+# module instrumentation
+# ---------------------------------------------------------------------------
+
+
+def _fake_engine_module():
+    mod = types.ModuleType("fake_engine")
+    mod.threading = threading
+    exec(
+        "def make():\n"
+        "    return threading.Lock(), threading.RLock()\n",
+        mod.__dict__,
+    )
+    return mod
+
+
+def test_instrumented_locks_wraps_and_restores():
+    mod = _fake_engine_module()
+    original = mod.threading
+    with instrumented_locks(mod) as graph:
+        lock, rlock = mod.make()
+        assert isinstance(lock, CheckedLock)
+        assert isinstance(rlock, CheckedLock)
+        assert lock.name.startswith("fake_engine.Lock#")
+        assert rlock.name.startswith("fake_engine.RLock#")
+        with lock, rlock:
+            pass
+    assert mod.threading is original
+    assert graph.acquisitions == 2
+    graph.assert_acyclic()
+
+
+def test_instrumented_locks_restores_on_error():
+    mod = _fake_engine_module()
+    original = mod.threading
+    with pytest.raises(RuntimeError, match="boom"), instrumented_locks(mod):
+        raise RuntimeError("boom")
+    assert mod.threading is original
+
+
+def test_instrumented_locks_rejects_module_without_threading():
+    mod = types.ModuleType("no_threading")
+    with pytest.raises(ValueError, match="no_threading"), instrumented_locks(mod):
+        pass
+
+
+def test_proxy_delegates_everything_else():
+    mod = _fake_engine_module()
+    with instrumented_locks(mod):
+        proxy = mod.threading
+        assert proxy.current_thread is threading.current_thread
+        cond = proxy.Condition()
+        assert isinstance(cond, threading.Condition)
+
+
+def test_shared_graph_across_modules():
+    mod1 = _fake_engine_module()
+    mod2 = _fake_engine_module()
+    mod2.__name__ = "fake_engine_2"
+    with instrumented_locks(mod1, mod2) as graph:
+        (l1, _), (l2, _) = mod1.make(), mod2.make()
+        with l1, l2:
+            pass
+    assert graph.edge_count() == 1
+    graph.assert_acyclic()

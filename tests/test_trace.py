@@ -65,9 +65,8 @@ class TestTracerCore:
 
     def test_annotate_and_find(self):
         tr = Tracer(clock=counting_clock())
-        with tr.span("outer"):
-            with tr.span("inner"):
-                tr.annotate(m=7)
+        with tr.span("outer"), tr.span("inner"):
+            tr.annotate(m=7)
         root = tr.last_root()
         assert root.find("inner").attrs == {"m": 7}
         assert root.find("missing") is None
@@ -108,10 +107,8 @@ class TestTracerCore:
 
     def test_exception_still_closes_span(self):
         tr = Tracer(clock=counting_clock())
-        with pytest.raises(RuntimeError):
-            with tr.span("root"):
-                with tr.span("child"):
-                    raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), tr.span("root"), tr.span("child"):
+            raise RuntimeError("boom")
         root = tr.last_root()
         assert root.t1 is not None
         assert root.children[0].t1 is not None
@@ -266,9 +263,8 @@ class TestCompare:
 
     def test_compare_requires_pack_events(self):
         tr = Tracer(clock=counting_clock())
-        with tr.span("sublist_scan", n=100, m=4, s1=5.0):
-            with tr.span("phase1"):
-                pass
+        with tr.span("sublist_scan", n=100, m=4, s1=5.0), tr.span("phase1"):
+            pass
         with pytest.raises(ValueError, match="no pack events"):
             compare_trace(tr)
 
