@@ -1,0 +1,119 @@
+"""Serving front-end: adaptive batch window vs. no batching.
+
+The serving layer's claim is the paper's economics applied to the
+network edge: admitting many concurrent clients' requests into one
+fused ``run_batch`` beats executing each request the moment it
+arrives.  The baseline is the same server with ``flush_size=1`` and a
+near-zero window — every admission flushes immediately, one engine
+call per request.  The measured configuration lets the SLO-aware
+window batch admissions.
+
+Records the ordering claim ("adaptive window ≥ 2× no-batching
+throughput at equal-or-better p95") in the harness registry; the CI
+smoke job runs the small shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.bench.harness import print_table, record_speedup
+from repro.engine import Engine
+from repro.serve import ScanServer, ServeConfig
+from repro.serve.client import run_bench
+
+SLO_P95 = 0.050
+
+
+def _drive(clients: int, requests: int, sizes, **config_kw) -> dict:
+    """One fresh server + engine, driven to completion by the bench
+    client; returns the client's report (verify off: the measurement
+    targets the serving path, not client-side reference scans)."""
+
+    async def main():
+        engine = Engine(executor="sync", max_pending=4096)
+        server = ScanServer(engine, ServeConfig(port=0, **config_kw))
+        await server.start()
+        try:
+            return await run_bench(
+                "127.0.0.1",
+                server.port,
+                clients=clients,
+                requests=requests,
+                sizes=sizes,
+                verify=False,
+                seed=7,
+            )
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(main())
+
+
+@pytest.mark.benchmark(group="serve")
+def test_adaptive_window_vs_no_batching(benchmark, full_sweep, smoke):
+    clients = 4 if smoke else 8
+    requests = 40 if smoke else (300 if full_sweep else 150)
+    sizes = (16, 48, 128) if smoke else (16, 64, 256, 1024)
+
+    baseline = _drive(
+        clients,
+        requests,
+        sizes,
+        flush_size=1,  # no batching: every admission flushes alone
+        min_window=1e-4,
+        max_window=1e-4,
+        slo_p95=SLO_P95,
+    )
+
+    measured = benchmark.pedantic(
+        lambda: _drive(
+            clients,
+            requests,
+            sizes,
+            flush_size=64,
+            slo_p95=SLO_P95,  # adaptive window (defaults: 0.5–25 ms)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for report in (baseline, measured):
+        counters = report["counters"]
+        assert counters["ok"] == clients * requests, counters
+        assert counters["mismatched"] == 0
+
+    base_p95 = baseline["latency"]["p95"]
+    adapt_p95 = measured["latency"]["p95"]
+    print_table(
+        ["configuration", "seconds", "responses/s", "p50 ms", "p95 ms"],
+        [
+            ["flush_size=1 (no batching)", baseline["elapsed"],
+             baseline["throughput_rps"], 1e3 * baseline["latency"]["p50"],
+             1e3 * base_p95],
+            ["adaptive window", measured["elapsed"],
+             measured["throughput_rps"], 1e3 * measured["latency"]["p50"],
+             1e3 * adapt_p95],
+        ],
+        title=f"serving throughput, {clients} clients x {requests} requests",
+    )
+    # "equal or better p95": batching must not buy throughput by
+    # blowing the latency target the window steers toward
+    p95_ok = adapt_p95 <= max(base_p95, SLO_P95)
+    record_speedup(
+        "serve_adaptive_window",
+        "adaptive batch window >= 2x no-batching throughput at "
+        "equal-or-better p95",
+        baseline_seconds=baseline["elapsed"],
+        measured_seconds=measured["elapsed"]
+        if p95_ok
+        else float("inf"),  # a blown SLO forfeits the claim
+        threshold=2.0,
+        note=(
+            f"p95 {1e3 * adapt_p95:.2f}ms vs baseline "
+            f"{1e3 * base_p95:.2f}ms (SLO {1e3 * SLO_P95:.0f}ms); "
+            f"{clients} clients x {requests} requests, sizes {sizes}"
+        ),
+    )

@@ -17,6 +17,11 @@ Subcommands
               through a traced engine)
 ``lint``      run the project-invariant static analyzer (``repro.lint``)
               over source paths; exits non-zero on findings
+``serve``     start the asyncio serving front-end (``repro.serve``):
+              admits scan/rank requests over TCP into the engine's
+              submission queue under an SLO-aware adaptive batch window
+``bench-client``  drive a running server with concurrent clients and
+              report the latency histogram (the CI smoke artifact)
 """
 
 from __future__ import annotations
@@ -196,6 +201,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog (name, scope, rationale) and exit",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve scan/rank requests over TCP through the batched engine",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8090,
+        help="TCP port (0 picks a free port; it is printed at startup)",
+    )
+    p_serve.add_argument(
+        "--flush-size", type=int, default=64,
+        help="flush the batch window as soon as this many requests are "
+             "pending (1 disables batching)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="hard cap on requests drained into one run_batch call",
+    )
+    p_serve.add_argument(
+        "--slo-ms", type=float, default=50.0,
+        help="target p95 admission-to-response latency the adaptive "
+             "window steers toward, in milliseconds",
+    )
+    p_serve.add_argument(
+        "--max-window-ms", type=float, default=25.0,
+        help="largest batch window the controller may grow to, ms",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None,
+        help="per-client sustained requests/second (token bucket; "
+             "default: no rate limit)",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=32.0,
+        help="per-client burst allowance for the token bucket",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="per-client cap on admitted-but-unanswered requests",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="submission-queue depth; beyond it requests are shed with "
+             "a structured 'overloaded' error",
+    )
+    p_serve.add_argument(
+        "--executor", choices=("sync", "threads", "processes"),
+        default="threads", help="engine execution backend",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool width for the threads/processes executors",
+    )
+    p_serve.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="honor the {'type': 'shutdown'} admin message (used by the "
+             "CI smoke job); off by default",
+    )
+    p_serve.add_argument(
+        "--stats-interval", type=float, default=0.0,
+        help="seconds between stats-snapshot lines on stderr (0 = off)",
+    )
+
+    p_bc = sub.add_parser(
+        "bench-client",
+        help="drive a running server with concurrent clients and report "
+             "the latency histogram",
+    )
+    p_bc.add_argument("--host", default="127.0.0.1")
+    p_bc.add_argument("--port", type=int, default=8090)
+    p_bc.add_argument(
+        "--clients", type=int, default=4, help="concurrent connections"
+    )
+    p_bc.add_argument(
+        "--requests", type=int, default=100, help="requests per client"
+    )
+    p_bc.add_argument(
+        "--sizes", default="16,64,256",
+        help="comma-separated list lengths cycled through per client",
+    )
+    p_bc.add_argument(
+        "--poison", type=int, default=0, metavar="K",
+        help="make every K-th request per client structurally broken "
+             "(must come back as a structured error; 0 = none)",
+    )
+    p_bc.add_argument("--op", default="sum")
+    p_bc.add_argument("--algorithm", default="auto")
+    p_bc.add_argument(
+        "--outstanding", type=int, default=32,
+        help="max in-flight requests per connection",
+    )
+    p_bc.add_argument(
+        "--no-verify", action="store_true",
+        help="skip bit-identical verification against list_scan",
+    )
+    p_bc.add_argument("--seed", type=int, default=0)
+    p_bc.add_argument(
+        "--stats", action="store_true",
+        help="fetch the server stats snapshot into the report",
+    )
+    p_bc.add_argument(
+        "--shutdown", action="store_true",
+        help="send the admin shutdown message after the run (server "
+             "must have --allow-shutdown)",
+    )
+    p_bc.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_out",
+        help="write the full JSON report (latency histogram included) "
+             "to PATH — the CI smoke job's artifact",
+    )
+
     p_fig = sub.add_parser("figures", help="dump figure CSV series")
     p_fig.add_argument(
         "--out", default="figures", help="output directory for CSV files"
@@ -344,6 +460,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(format_table(["counter", "value"], engine.stats.as_rows(),
                        title="engine stats"))
     if args.stats:
+        import json
+
         st = engine.stats
         print()
         print(format_table(
@@ -352,6 +470,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
              ["quarantined", st.quarantined], ["coalesced", st.coalesced]],
             title="engine health counters",
         ))
+        # the same serializer the serving front-end's /stats endpoint
+        # returns (EngineStats.snapshot)
+        print()
+        print(json.dumps(engine.stats.snapshot(), indent=2))
     if mismatches:
         print(f"ERROR: {mismatches} result(s) differ from sequential list_scan",
               file=sys.stderr)
@@ -504,6 +626,135 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from .engine import Engine
+    from .serve import ScanServer, ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            flush_size=args.flush_size,
+            max_batch=args.max_batch,
+            slo_p95=args.slo_ms / 1000.0,
+            max_window=args.max_window_ms / 1000.0,
+            min_window=min(0.0005, args.max_window_ms / 1000.0),
+            rate=args.rate,
+            burst=args.burst,
+            max_inflight=args.max_inflight,
+            allow_shutdown=args.allow_shutdown,
+            stats_interval=args.stats_interval,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    engine = Engine(
+        max_pending=args.max_pending,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+
+    async def _main() -> None:
+        server = ScanServer(engine, config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.shutdown())
+                )
+        print(
+            f"serving on {config.host}:{server.port} "
+            f"(executor={args.executor}, flush_size={config.flush_size}, "
+            f"slo_p95={1000 * config.slo_p95:.1f}ms"
+            f"{', allow_shutdown' if config.allow_shutdown else ''})",
+            flush=True,
+        )
+        await server.wait_closed()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    print("server stopped", flush=True)
+    return 0
+
+
+def _cmd_bench_client(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve.client import run_bench
+
+    try:
+        sizes = tuple(
+            int(tok) for tok in args.sizes.split(",") if tok.strip()
+        )
+    except ValueError:
+        print("bench-client: --sizes must be comma-separated integers",
+              file=sys.stderr)
+        return 2
+    if not sizes or any(sz < 1 for sz in sizes):
+        print("bench-client: sizes must be positive", file=sys.stderr)
+        return 2
+
+    try:
+        report = asyncio.run(run_bench(
+            args.host,
+            args.port,
+            clients=args.clients,
+            requests=args.requests,
+            sizes=sizes,
+            poison_every=args.poison,
+            op=args.op,
+            algorithm=args.algorithm,
+            max_outstanding=args.outstanding,
+            verify=not args.no_verify,
+            seed=args.seed,
+            fetch_stats=args.stats,
+            shutdown=args.shutdown,
+        ))
+    except (ConnectionError, OSError) as exc:
+        print(f"bench-client: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.json_out:
+        with open(args.json_out, "w") as fp:
+            json.dump(report, fp, indent=2)
+
+    counters = report["counters"]
+    lat = report["latency"]
+    print(f"{args.clients} client(s) x {args.requests} request(s) "
+          f"in {report['elapsed']:.3f}s "
+          f"({report['throughput_rps']:.0f} responses/s)")
+    print(f"  ok {counters['ok']}  errors {counters['errors']}  "
+          f"shed(retried) {counters['shed']}  gave-up {counters['gave_up']}")
+    if not args.no_verify:
+        print(f"  verified {counters['verified']}  "
+              f"mismatched {counters['mismatched']}")
+    if args.poison:
+        print(f"  poison rejected {counters['poison_rejected']}  "
+              f"accepted {counters['poison_accepted']}")
+    if lat["count"]:
+        print(f"  latency p50 {1000 * lat['p50']:.2f}ms  "
+              f"p95 {1000 * lat['p95']:.2f}ms  p99 {1000 * lat['p99']:.2f}ms")
+    if args.shutdown:
+        print(f"  shutdown acknowledged: {report.get('shutdown')}")
+
+    bad = (
+        counters["mismatched"]
+        or counters["poison_accepted"]
+        or (args.shutdown and not report.get("shutdown"))
+        or counters["ok"] == 0
+    )
+    return 1 if bad else 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     names = [args.only] if args.only else sorted(ALL_FIGURES)
     for name in names:
@@ -521,6 +772,8 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "bench-client": _cmd_bench_client,
     "figures": _cmd_figures,
 }
 

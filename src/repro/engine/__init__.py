@@ -41,6 +41,8 @@ __all__ = [
     "ScanResponse",
     "SubmissionQueue",
     "BackpressureError",
+    "QueueClosedError",
+    "LatencyHistogram",
     "RequestError",
     "EngineRequestError",
     "validate_request",
@@ -67,6 +69,8 @@ _EXPORTS = {
     "ScanResponse": ("repro.engine.queue", "ScanResponse"),
     "SubmissionQueue": ("repro.engine.queue", "SubmissionQueue"),
     "BackpressureError": ("repro.engine.queue", "BackpressureError"),
+    "QueueClosedError": ("repro.engine.queue", "QueueClosedError"),
+    "LatencyHistogram": ("repro.engine.histogram", "LatencyHistogram"),
     "RequestError": ("repro.engine.errors", "RequestError"),
     "EngineRequestError": ("repro.engine.errors", "EngineRequestError"),
     "validate_request": ("repro.engine.errors", "validate_request"),
@@ -91,7 +95,14 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .cache import ResultCache, fingerprint
     from .engine import Engine, EngineStats
     from .errors import EngineRequestError, RequestError, validate_request
-    from .queue import BackpressureError, ScanRequest, ScanResponse, SubmissionQueue
+    from .histogram import LatencyHistogram
+    from .queue import (
+        BackpressureError,
+        QueueClosedError,
+        ScanRequest,
+        ScanResponse,
+        SubmissionQueue,
+    )
     from .router import Router, route_algorithm
     from .workers import (
         EXECUTORS,

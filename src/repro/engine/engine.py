@@ -58,6 +58,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -75,6 +76,7 @@ from .errors import (
     VALIDATION_MODES,
     validate_request,
 )
+from .histogram import LatencyHistogram
 from .queue import ScanRequest, ScanResponse, SubmissionQueue
 from .router import CANDIDATES, Router
 from .workers import EXECUTORS, create_backend, offloadable_operator, run_fused_kernel
@@ -117,6 +119,25 @@ class EngineStats:
     merges here only if it succeeds, so a fused attempt that dies
     half-way through Phase 1 cannot double-count the work its members
     then redo solo.
+
+    Latency histograms
+    ------------------
+
+    ``latency`` holds one :class:`LatencyHistogram` per phase:
+
+    ``"queue_wait"``
+        submission→batch-start per request (observed for every request
+        that carries a ``submitted_at`` stamp, i.e. went through the
+        :class:`~repro.engine.queue.SubmissionQueue`).
+    ``"execute"``
+        ``run_batch`` wall time per batch.
+    ``"total"``
+        admission→response per request; fed by the serving layer
+        (:meth:`Engine.observe_response`) since only it sees the
+        response actually leave.
+
+    The SLO-adaptive batch window in ``repro.serve`` steers on these —
+    a p95 target is invisible in ``seconds_executing`` alone.
     """
 
     requests: int = 0
@@ -136,6 +157,38 @@ class EngineStats:
     kernel_packs: int = 0
     seconds_executing: float = 0.0
     algorithms: dict[str, int] = field(default_factory=dict)
+    latency: dict[str, LatencyHistogram] = field(
+        default_factory=lambda: {
+            "total": LatencyHistogram(),
+            "queue_wait": LatencyHistogram(),
+            "execute": LatencyHistogram(),
+        }
+    )
+
+    #: scalar counters in reporting order (one source for every view)
+    _COUNTERS = (
+        "requests",
+        "batches",
+        "shards",
+        "fused_lists",
+        "fused_nodes",
+        "solo_runs",
+        "cache_hits",
+        "cache_misses",
+        "errors",
+        "shed",
+        "retries",
+        "quarantined",
+        "coalesced",
+        "element_ops",
+        "kernel_rounds",
+        "kernel_packs",
+        "seconds_executing",
+    )
+
+    #: requests rejected before queueing (overload / rate limits); the
+    #: serving layer counts them here so ``/stats`` sees shed load.
+    shed: int = 0
 
     def merge_kernel_stats(self, kstats: "ScanStats") -> None:
         """Fold one successful attempt's kernel counters in (caller
@@ -147,28 +200,43 @@ class EngineStats:
     def count_algorithm(self, name: str, lists: int = 1) -> None:
         self.algorithms[name] = self.algorithms.get(name, 0) + lists
 
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe view of every counter and histogram.
+
+        This is the *one* stats serializer: ``repro-c90 batch --stats``
+        prints it, the serving layer's ``/stats`` endpoint returns it,
+        and :meth:`as_rows` renders its counters — so the three
+        surfaces can never drift apart.
+        """
+        snap: dict[str, Any] = {
+            name: round(value, 6) if isinstance(value, float) else value
+            for name in self._COUNTERS
+            for value in (getattr(self, name),)
+        }
+        snap["algorithms"] = {
+            name: self.algorithms[name] for name in sorted(self.algorithms)
+        }
+        snap["latency"] = {
+            name: hist.snapshot() for name, hist in self.latency.items()
+        }
+        return snap
+
     def as_rows(self) -> list[list[object]]:
-        """Counter rows for ``bench.harness.format_table``."""
+        """Counter rows for ``bench.harness.format_table`` (derived
+        from :meth:`snapshot`, not formatted ad hoc)."""
+        snap = self.snapshot()
         rows: list[list[object]] = [
-            ["requests", self.requests],
-            ["batches", self.batches],
-            ["shards", self.shards],
-            ["fused lists", self.fused_lists],
-            ["fused nodes", self.fused_nodes],
-            ["solo runs", self.solo_runs],
-            ["cache hits", self.cache_hits],
-            ["cache misses", self.cache_misses],
-            ["errors", self.errors],
-            ["retries", self.retries],
-            ["quarantined", self.quarantined],
-            ["coalesced", self.coalesced],
-            ["element ops", self.element_ops],
-            ["kernel rounds", self.kernel_rounds],
-            ["kernel packs", self.kernel_packs],
-            ["seconds executing", round(self.seconds_executing, 6)],
+            [name.replace("_", " "), snap[name]] for name in self._COUNTERS
         ]
-        for name in sorted(self.algorithms):
-            rows.append([f"algorithm[{name}]", self.algorithms[name]])
+        for name, lists in snap["algorithms"].items():
+            rows.append([f"algorithm[{name}]", lists])
+        for name, hist in snap["latency"].items():
+            if hist["count"]:
+                rows.append(
+                    [f"latency[{name}] p50/p95/p99 ms",
+                     f"{1e3 * hist['p50']:.3f}/{1e3 * hist['p95']:.3f}"
+                     f"/{1e3 * hist['p99']:.3f}"]
+                )
         return rows
 
 
@@ -314,15 +382,35 @@ class Engine:
     # lifecycle
     # ------------------------------------------------------------------
 
-    def close(self) -> None:
-        """Tear down the execution backend's worker pools.
+    def close(self) -> list[ScanResponse]:
+        """Tear down the engine: fail pending requests, stop the pools.
+
+        Closing the submission queue wakes every submitter blocked on
+        backpressure (they raise
+        :class:`~repro.engine.queue.QueueClosedError`) and hands back
+        the requests still waiting for a flush; each is answered here
+        with a structured ``shutdown``
+        :class:`~repro.engine.errors.RequestError` response so no
+        request is left hanging — the returned list carries those
+        ``ok=False`` responses for the serving layer to deliver.
 
         Idempotent — calling it again (or exiting the context manager
-        after an explicit close) is a no-op.  A closed engine rejects
-        further pooled dispatch; single-shard batches still execute
-        inline.
+        after an explicit close) is a no-op returning ``[]``.  A closed
+        engine rejects further submissions and pooled dispatch;
+        single-shard batches still execute inline.
         """
+        pending = self.queue.close()
+        error = RequestError(
+            code="shutdown",
+            message="engine closed before the request executed",
+            phase="shutdown",
+        )
+        responses = [self._failure(req, error) for req in pending]
+        if responses:
+            with self._lock:
+                self.stats.errors += len(responses)
         self._backend.close()
+        return responses
 
     def __enter__(self) -> "Engine":
         return self
@@ -362,6 +450,7 @@ class Engine:
         responses: dict[int, ScanResponse] = {}
         t0 = self.clock()
         n_errors = n_coalesced = n_hits = n_misses = 0
+        queue_waits: list[float] = []
 
         tracer = self.trace
         span = tracer.span if tracer is not None else null_span
@@ -374,12 +463,15 @@ class Engine:
             followers: dict[int, list[ScanRequest]] = {}  # primary -> dups
             with span("admit"):
                 for req in requests:
-                    if tracer is not None and req.submitted_at is not None:
-                        tracer.event(
-                            "queue_wait",
-                            request_id=req.request_id,
-                            seconds=max(0.0, t0 - req.submitted_at),
-                        )
+                    if req.submitted_at is not None:
+                        wait = max(0.0, t0 - req.submitted_at)
+                        queue_waits.append(wait)
+                        if tracer is not None:
+                            tracer.event(
+                                "queue_wait",
+                                request_id=req.request_id,
+                                seconds=wait,
+                            )
                     error: RequestError | None = None
                     key: bytes | None = None
                     try:
@@ -510,7 +602,30 @@ class Engine:
             self.stats.errors += n_errors
             self.stats.coalesced += n_coalesced
             self.stats.seconds_executing += elapsed
+            for wait in queue_waits:
+                self.stats.latency["queue_wait"].observe(wait)
+            if requests:
+                self.stats.latency["execute"].observe(elapsed)
         return [responses[req.request_id] for req in requests]
+
+    # ------------------------------------------------------------------
+    # serving-layer telemetry
+    # ------------------------------------------------------------------
+
+    def observe_response(self, seconds: float) -> None:
+        """Record one admission→response latency (``total`` histogram).
+
+        Only the serving layer sees the response actually leave, so it
+        calls this when the reply is written; the engine itself only
+        observes the ``queue_wait`` and ``execute`` sub-phases.
+        """
+        with self._lock:
+            self.stats.latency["total"].observe(seconds)
+
+    def observe_shed(self, count: int = 1) -> None:
+        """Count requests rejected before queueing (overload/rate limits)."""
+        with self._lock:
+            self.stats.shed += count
 
     # ------------------------------------------------------------------
     # conveniences

@@ -41,7 +41,19 @@ Error codes
                     values (probed on a one-element slice)
 ``fingerprint``     the request could not be fingerprinted
 ``execution``       the scan kernel raised while executing the request
+``shutdown``        the engine closed before the request executed
+                    (``Engine.close()`` answers still-queued requests
+                    with this instead of dropping them)
 ==================  ==================================================
+
+The serving front-end (``repro.serve``) reuses this type for failures
+that happen before a request ever reaches the engine, with its own
+codes: ``bad-message`` (unparseable frame), ``bad-field`` (parseable
+but invalid request payload), ``rate-limited`` (per-client token
+bucket or in-flight cap exceeded) and ``overloaded`` (submission queue
+saturated; the response carries a ``retry_after`` hint).  One error
+shape end to end means a client handles a validation failure, a
+quarantined kernel crash and a load-shed rejection identically.
 """
 
 from __future__ import annotations

@@ -38,6 +38,7 @@ __all__ = [
     "ScanResponse",
     "SubmissionQueue",
     "BackpressureError",
+    "QueueClosedError",
 ]
 
 _REQUEST_IDS = itertools.count(1)
@@ -45,6 +46,19 @@ _REQUEST_IDS = itertools.count(1)
 
 class BackpressureError(RuntimeError):
     """The submission queue is full and the caller chose not to wait."""
+
+
+class QueueClosedError(RuntimeError):
+    """The submission queue was closed while (or before) submitting.
+
+    Raised by :meth:`SubmissionQueue.submit` once :meth:`SubmissionQueue.close`
+    has run — including for submitters that were *blocked on
+    backpressure* when the close happened: they are woken and get this
+    exception instead of hanging on a queue no drain will ever empty.
+    ``Engine.close()`` turns the same condition into structured
+    ``shutdown`` :class:`~repro.engine.errors.RequestError` responses
+    for requests already queued.
+    """
 
 
 @dataclass
@@ -158,6 +172,7 @@ class SubmissionQueue:
         self._cond = threading.Condition()
         self._waiters: list[int] = []  # tickets of blocked submitters, FIFO
         self._tickets = itertools.count()
+        self._closed = False
 
     def __len__(self) -> int:
         with self._cond:
@@ -168,6 +183,22 @@ class SubmissionQueue:
         """Total nodes across queued requests."""
         with self._cond:
             return self._nodes
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def oldest_submitted_at(self) -> float | None:
+        """Admission stamp of the front (oldest) request, or ``None``.
+
+        This is the serving layer's batch-window deadline hook: the
+        adaptive window flushes when ``clock() - oldest_submitted_at()``
+        reaches the current window, so the *oldest* queued request —
+        not the newest — bounds the added latency.
+        """
+        with self._cond:
+            return self._items[0].submitted_at if self._items else None
 
     def _has_room(self, request: ScanRequest, at_front: bool = False) -> bool:
         if not self._items:
@@ -195,9 +226,13 @@ class SubmissionQueue:
 
         Raises :class:`BackpressureError` when the queue is full and
         ``block`` is False (immediately) or ``timeout`` seconds elapse
-        without room appearing.
+        without room appearing, and :class:`QueueClosedError` when the
+        queue has been closed — including when the close happens while
+        this submitter is blocked waiting for room.
         """
         with self._cond:
+            if self._closed:
+                raise QueueClosedError("submission queue is closed")
             if not self._has_room(request):
                 if not block:
                     raise BackpressureError(
@@ -208,7 +243,8 @@ class SubmissionQueue:
                 self._waiters.append(ticket)
                 try:
                     admitted = self._cond.wait_for(
-                        lambda: self._has_room(
+                        lambda: self._closed
+                        or self._has_room(
                             request, at_front=self._waiters[0] == ticket
                         ),
                         timeout=timeout,
@@ -216,6 +252,10 @@ class SubmissionQueue:
                 finally:
                     self._waiters.remove(ticket)
                     self._cond.notify_all()  # let the next waiter re-check
+                if self._closed:
+                    raise QueueClosedError(
+                        "submission queue closed while waiting for room"
+                    )
                 if not admitted:
                     raise BackpressureError(
                         f"queue still full after {timeout}s "
@@ -239,3 +279,23 @@ class SubmissionQueue:
             self._nodes -= sum(r.n for r in batch)
             self._cond.notify_all()
             return batch
+
+    def close(self) -> list[ScanRequest]:
+        """Close the queue; returns the requests still pending.
+
+        Idempotent (a second close returns ``[]``).  Every submitter
+        blocked on backpressure is woken and raises
+        :class:`QueueClosedError`; later ``submit`` calls raise
+        immediately.  The caller owns the returned requests —
+        ``Engine.close()`` answers each with a structured ``shutdown``
+        error so no request vanishes silently.
+        """
+        with self._cond:
+            if self._closed:
+                return []
+            self._closed = True
+            pending = self._items
+            self._items = []
+            self._nodes = 0
+            self._cond.notify_all()
+            return pending

@@ -1,0 +1,334 @@
+"""Wire protocol: length-prefixed JSON frames, JSONL, and ``/stats``.
+
+The serving front-end speaks three self-identifying dialects on one
+port, distinguished by the first byte of the connection:
+
+* ``0x00``–``0x03`` — **length-prefixed frames**: a 4-byte big-endian
+  payload length followed by one UTF-8 JSON object.  The binary-safe
+  dialect; the bench client's default.  (Sane frame lengths are far
+  below 2\\ :sup:`26`, so the first byte of a legal frame is always a
+  low control byte — which no JSON text and no HTTP method starts
+  with.)
+* ``{`` — **JSONL**: one JSON object per ``\\n``-terminated line.  The
+  ``netcat``-friendly dialect.
+* ``G`` — a minimal **HTTP GET**: ``GET /stats`` returns the engine's
+  :meth:`~repro.engine.engine.EngineStats.snapshot` (plus the server's
+  own gauges) as ``application/json``, so a browser or ``curl`` can
+  watch a running server without a custom client.
+
+Message shapes
+--------------
+
+Request (client → server)::
+
+    {"id": 7, "type": "scan", "next": [1, 2, 2], "head": 0,
+     "values": [5, 1, 2], "op": "sum", "inclusive": false,
+     "algorithm": "auto"}
+
+``type`` may also be ``"rank"`` (values forced to ones), ``"stats"``
+(returns the stats snapshot), ``"ping"``, or ``"shutdown"`` (honored
+only when the server was started with ``allow_shutdown``).  ``id`` is
+an opaque JSON value echoed on the response.
+
+Response (server → client)::
+
+    {"id": 7, "ok": true, "result": [0, 5, 6], "algorithm": "serial",
+     "cached": false, "coalesced": false, "batch_lists": 12, "n": 3,
+     "latency": 0.0041}
+
+    {"id": 9, "ok": false,
+     "error": {"code": "overloaded", "message": "…",
+               "phase": "admit", "exception": null},
+     "retry_after": 0.012}
+
+Failures reuse the engine's structured
+:class:`~repro.engine.errors.RequestError` — the same shape a
+validation failure or a quarantined kernel crash produces — with the
+admission-time codes ``bad-message``, ``bad-field``, ``rate-limited``
+and ``overloaded`` (see ``engine/errors.py``).  ``retry_after`` rides
+next to the error on shed responses.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..core.list_scan import ALGORITHMS
+from ..core.operators import get_operator
+from ..engine.errors import RequestError
+from ..engine.queue import ScanRequest, ScanResponse
+from ..lists.generate import INDEX_DTYPE, LinkedList
+
+__all__ = [
+    "ProtocolError",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_line",
+    "decode_message",
+    "parse_request",
+    "response_to_wire",
+    "error_to_wire",
+    "REQUEST_TYPES",
+    "ADMIN_TYPES",
+    "MAX_FRAME_BYTES",
+]
+
+#: Default hard cap on one frame/line (64 MiB ≈ a 4M-node list).
+MAX_FRAME_BYTES = 64 << 20
+
+#: Message types that carry a list-scan problem.
+REQUEST_TYPES = ("scan", "rank")
+
+#: Message types handled by the server itself, never queued.
+ADMIN_TYPES = ("stats", "ping", "shutdown")
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A message failed before it could become a :class:`ScanRequest`.
+
+    Carries the structured :class:`RequestError` (code ``bad-message``
+    for unparseable bytes, ``bad-field`` for a parseable payload with
+    missing/invalid fields) that the server writes back — when it can
+    still extract a wire ``id`` to address the reply to.
+    """
+
+    def __init__(self, error: RequestError, wire_id: object = None):
+        self.error = error
+        self.wire_id = wire_id
+        super().__init__(f"[{error.code}] {error.message}")
+
+
+def _bad_message(message: str, wire_id: object = None) -> ProtocolError:
+    return ProtocolError(
+        RequestError(code="bad-message", message=message, phase="admit"),
+        wire_id,
+    )
+
+
+def _bad_field(message: str, wire_id: object = None) -> ProtocolError:
+    return ProtocolError(
+        RequestError(code="bad-field", message=message, phase="admit"),
+        wire_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One length-prefixed frame: ``>I`` byte length + UTF-8 JSON."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(payload)) + payload
+
+
+def encode_line(message: dict[str, Any]) -> bytes:
+    """One JSONL record (newline-terminated UTF-8 JSON)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(payload: bytes, max_bytes: int = MAX_FRAME_BYTES) -> dict[str, Any]:
+    """Parse one frame/line payload into a JSON object.
+
+    Raises :class:`ProtocolError` (``bad-message``) for oversized,
+    undecodable, or non-object payloads.
+    """
+    if len(payload) > max_bytes:
+        raise _bad_message(
+            f"message of {len(payload)} bytes exceeds the {max_bytes}-byte limit"
+        )
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _bad_message(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise _bad_message(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+class FrameDecoder:
+    """Incremental decoder for the length-prefixed dialect.
+
+    Feed raw bytes; iterate complete frames.  Used by tests and by
+    sync clients — the asyncio server reads frames directly off its
+    stream with ``readexactly``.
+    """
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES):
+        self.max_bytes = max_bytes
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Absorb ``data``; return every now-complete message."""
+        self._buf.extend(data)
+        out: list[dict[str, Any]] = []
+        while len(self._buf) >= _LEN.size:
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > self.max_bytes:
+                raise _bad_message(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_bytes}-byte limit"
+                )
+            if len(self._buf) < _LEN.size + length:
+                break
+            payload = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            out.append(decode_message(payload, self.max_bytes))
+        return out
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+
+
+def _require_int(message: dict[str, Any], field: str, wire_id: object) -> int:
+    value = message.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _bad_field(
+            f"field {field!r} must be an integer, got "
+            f"{type(value).__name__ if value is not None else 'nothing'}",
+            wire_id,
+        )
+    return value
+
+
+def _index_array(message: dict[str, Any], wire_id: object) -> np.ndarray:
+    raw = message.get("next")
+    if not isinstance(raw, list) or not raw:
+        raise _bad_field(
+            "field 'next' must be a non-empty array of successor indices",
+            wire_id,
+        )
+    try:
+        nxt = np.asarray(raw, dtype=INDEX_DTYPE)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise _bad_field(f"field 'next' is not an index array: {exc}", wire_id) from exc
+    if nxt.ndim != 1:
+        raise _bad_field("field 'next' must be one-dimensional", wire_id)
+    return nxt
+
+
+def parse_request(message: dict[str, Any], tag: object = None) -> ScanRequest:
+    """Turn one ``scan``/``rank`` wire message into a :class:`ScanRequest`.
+
+    Only *shape* is checked here (field presence and JSON types);
+    structural problems — out-of-range successors, broken cycles, NaN
+    under a hostile operator — flow through the engine's own
+    probe-time validation and come back as the same ``ok=False``
+    responses a library caller would see.  Raises
+    :class:`ProtocolError` (``bad-field``) on shape problems.
+    """
+    wire_id = message.get("id")
+    kind = message.get("type", "scan")
+    if kind not in REQUEST_TYPES:
+        raise _bad_field(
+            f"type must be one of {REQUEST_TYPES} for a request, got {kind!r}",
+            wire_id,
+        )
+    nxt = _index_array(message, wire_id)
+    head = _require_int(message, "head", wire_id)
+    if not 0 <= head < nxt.shape[0]:
+        raise _bad_field(
+            f"head {head} out of range for a {nxt.shape[0]}-node list", wire_id
+        )
+
+    values = None
+    if kind == "scan" and message.get("values") is not None:
+        raw_values = message["values"]
+        if not isinstance(raw_values, list):
+            raise _bad_field("field 'values' must be an array", wire_id)
+        try:
+            values = np.asarray(raw_values)
+        except (TypeError, ValueError) as exc:
+            raise _bad_field(
+                f"field 'values' is not a value array: {exc}", wire_id
+            ) from exc
+        if values.dtype == object:
+            raise _bad_field("field 'values' mixes incompatible types", wire_id)
+    # kind == "rank" (or scan without values): LinkedList defaults to
+    # all-ones values, which is exactly list ranking
+
+    op_name = message.get("op", "sum")
+    try:
+        op = get_operator(op_name)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise _bad_field(f"unknown operator {op_name!r}", wire_id) from exc
+
+    inclusive = message.get("inclusive", False)
+    if not isinstance(inclusive, bool):
+        raise _bad_field("field 'inclusive' must be a boolean", wire_id)
+
+    algorithm = message.get("algorithm", "auto")
+    if algorithm != "auto" and algorithm not in ALGORITHMS:
+        raise _bad_field(
+            f"unknown algorithm {algorithm!r}; expected 'auto' or one of "
+            f"{ALGORITHMS}",
+            wire_id,
+        )
+
+    try:
+        lst = LinkedList(nxt, head, values)
+    except Exception as exc:  # shape/dtype coercion failures
+        raise _bad_field(f"could not build the list: {exc}", wire_id) from exc
+    return ScanRequest(
+        lst=lst, op=op, inclusive=inclusive, algorithm=algorithm, tag=tag
+    )
+
+
+# ----------------------------------------------------------------------
+# response encoding
+# ----------------------------------------------------------------------
+
+
+def _error_payload(error: RequestError) -> dict[str, Any]:
+    return {
+        "code": error.code,
+        "message": error.message,
+        "phase": error.phase,
+        "exception": error.exception,
+    }
+
+
+def response_to_wire(
+    wire_id: object, resp: ScanResponse, latency: float | None = None
+) -> dict[str, Any]:
+    """Serialize one engine :class:`ScanResponse` for the wire."""
+    if not resp.ok:
+        assert resp.error is not None
+        return error_to_wire(wire_id, resp.error)
+    assert resp.result is not None
+    out: dict[str, Any] = {
+        "id": wire_id,
+        "ok": True,
+        "result": resp.result.tolist(),
+        "algorithm": resp.algorithm,
+        "cached": resp.cached,
+        "coalesced": resp.coalesced,
+        "batch_lists": resp.batch_lists,
+        "n": resp.n,
+    }
+    if latency is not None:
+        out["latency"] = latency
+    return out
+
+
+def error_to_wire(
+    wire_id: object,
+    error: RequestError,
+    retry_after: float | None = None,
+) -> dict[str, Any]:
+    """Serialize one structured failure (optionally with a shed hint)."""
+    out: dict[str, Any] = {"id": wire_id, "ok": False, "error": _error_payload(error)}
+    if retry_after is not None:
+        out["retry_after"] = retry_after
+    return out

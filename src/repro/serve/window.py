@@ -1,0 +1,170 @@
+"""SLO-aware adaptive batch window.
+
+The paper's economics — throughput comes from batching many small
+walks into one full-width vector pass — turn into a latency/throughput
+dial at the serving layer: the longer the server waits before flushing
+the submission queue, the larger (and cheaper per request) the fused
+batch, but every queued request pays the wait.  This module owns that
+dial.
+
+A flush fires on whichever trigger arrives first:
+
+* **size** — ``flush_size`` requests are pending (the batch is already
+  worth executing; waiting longer only adds latency), or
+* **deadline** — the *oldest* queued request has waited ``window``
+  seconds (bounding the latency any request can pay to batching).
+
+The window is retuned online (AIMD, the classic congestion-control
+shape) from the observed admission→response latencies: when the recent
+p95 overshoots the SLO the window halves (latency is compounding —
+back off fast); when it sits comfortably under the SLO the window
+grows by a small factor (drift toward bigger, cheaper batches).  The
+controller steers on the same histogramed latencies the engine's
+``queue_wait``/``execute`` spans record, so the policy is validated by
+the exact telemetry the trace subsystem already exposes.
+
+This class is pure decision logic: every method takes the current time
+as an argument and nothing here reads a wall clock, so tests drive it
+with a counting clock and the ``injectable-clock`` lint rule holds for
+the whole serving layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["AdaptiveWindow"]
+
+
+class AdaptiveWindow:
+    """Flush-on-size-or-deadline policy with an AIMD-tuned deadline.
+
+    Parameters
+    ----------
+    slo_p95:
+        Target 95th-percentile admission→response latency, seconds.
+    min_window / max_window:
+        Clamp for the adaptive deadline.
+    initial:
+        Starting window (``None`` → ``max_window``: start lazy, adapt
+        down when the SLO is threatened).
+    flush_size:
+        Size trigger; ``1`` makes every request flush immediately
+        (the no-batching baseline).
+    sample_size:
+        Sliding window of recent latencies the controller steers on.
+    shrink / grow:
+        Multiplicative decrease on SLO overshoot, multiplicative
+        increase inside the headroom band.
+    headroom:
+        Fraction of the SLO under which the window may grow (between
+        ``headroom * slo_p95`` and ``slo_p95`` the window holds).
+    """
+
+    def __init__(
+        self,
+        slo_p95: float = 0.050,
+        min_window: float = 0.0005,
+        max_window: float = 0.025,
+        initial: float | None = None,
+        flush_size: int = 64,
+        sample_size: int = 256,
+        shrink: float = 0.5,
+        grow: float = 1.25,
+        headroom: float = 0.7,
+    ) -> None:
+        if slo_p95 <= 0.0:
+            raise ValueError("slo_p95 must be positive")
+        if not 0.0 < min_window <= max_window:
+            raise ValueError("need 0 < min_window <= max_window")
+        if flush_size < 1:
+            raise ValueError("flush_size must be >= 1")
+        if not 0.0 < shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        if grow <= 1.0:
+            raise ValueError("grow must be > 1")
+        if not 0.0 < headroom < 1.0:
+            raise ValueError("headroom must be in (0, 1)")
+        self.slo_p95 = slo_p95
+        self.min_window = min_window
+        self.max_window = max_window
+        self.flush_size = flush_size
+        self.shrink = shrink
+        self.grow = grow
+        self.headroom = headroom
+        self.window = max_window if initial is None else min(
+            max(initial, min_window), max_window
+        )
+        self._samples: deque[float] = deque(maxlen=sample_size)
+        self.grows = 0
+        self.shrinks = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    # flush triggers
+    # ------------------------------------------------------------------
+
+    def deadline(self, oldest_admitted_at: float) -> float:
+        """Absolute time by which the oldest request forces a flush."""
+        return oldest_admitted_at + self.window
+
+    def should_flush(
+        self, now: float, pending: int, oldest_admitted_at: float | None
+    ) -> bool:
+        """True when either the size or the deadline trigger has fired."""
+        if pending <= 0 or oldest_admitted_at is None:
+            return False
+        if pending >= self.flush_size:
+            return True
+        return now >= self.deadline(oldest_admitted_at)
+
+    # ------------------------------------------------------------------
+    # online tuning
+    # ------------------------------------------------------------------
+
+    def note_latency(self, seconds: float) -> None:
+        """Feed one observed admission→response latency."""
+        self._samples.append(max(0.0, seconds))
+
+    def observed_p95(self) -> float | None:
+        """p95 of the recent latency samples (``None`` when empty)."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(0, -(-95 * len(ordered) // 100) - 1)  # ceil(0.95 n) - 1
+        return ordered[rank]
+
+    def adapt(self) -> None:
+        """Retune the window after a flush (AIMD against the SLO)."""
+        self.flushes += 1
+        p95 = self.observed_p95()
+        if p95 is None:
+            return
+        if p95 > self.slo_p95:
+            shrunk = max(self.min_window, self.window * self.shrink)
+            if shrunk < self.window:
+                self.shrinks += 1
+            self.window = shrunk
+        elif p95 < self.headroom * self.slo_p95:
+            grown = min(self.max_window, self.window * self.grow)
+            if grown > self.window:
+                self.grows += 1
+            self.window = grown
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe controller state for the ``/stats`` endpoint."""
+        p95 = self.observed_p95()
+        return {
+            "window": self.window,
+            "slo_p95": self.slo_p95,
+            "observed_p95": p95,
+            "flush_size": self.flush_size,
+            "flushes": self.flushes,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+            "samples": len(self._samples),
+        }

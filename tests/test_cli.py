@@ -31,6 +31,22 @@ class TestParser:
         assert args.workers == 1
         assert not args.no_cache
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8090
+        assert args.flush_size == 64
+        assert args.slo_ms == 50.0
+        assert args.rate is None
+        assert not args.allow_shutdown
+
+    def test_bench_client_defaults(self):
+        args = build_parser().parse_args(["bench-client"])
+        assert args.clients == 4
+        assert args.requests == 100
+        assert args.sizes == "16,64,256"
+        assert args.poison == 0
+        assert not args.shutdown
+
 
 class TestCommands:
     def test_rank(self, capsys):
@@ -69,6 +85,32 @@ class TestCommands:
 
     def test_batch_rejects_bad_min_n(self, capsys):
         assert main(["batch", "--min-n", "0"]) == 2
+
+    def test_batch_stats_prints_snapshot_json(self, capsys):
+        import json
+
+        assert main(
+            ["batch", "--count", "8", "--min-n", "8", "-n", "200", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        # the snapshot block is the same serializer the serve layer's
+        # /stats endpoint returns: find it and parse it
+        start = out.index('{\n  "requests"')
+        snapshot = json.loads(out[start : out.rindex("}") + 1])
+        assert snapshot["requests"] == 8
+        assert snapshot["latency"]["execute"]["count"] >= 1
+        assert "shed" in snapshot
+
+    def test_bench_client_rejects_bad_sizes(self, capsys):
+        assert main(["bench-client", "--sizes", "16,frog"]) == 2
+        assert main(["bench-client", "--sizes", "0,4"]) == 2
+
+    def test_bench_client_reports_unreachable_server(self, capsys):
+        # nothing listens on this port; must fail fast, not hang
+        assert main(
+            ["bench-client", "--port", "1", "--clients", "1", "--requests", "1"]
+        ) == 2
+        assert "cannot reach" in capsys.readouterr().err
 
     @pytest.mark.parametrize("algo", ["sublist", "wyllie", "serial"])
     def test_simulate(self, algo, capsys):

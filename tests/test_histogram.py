@@ -1,0 +1,115 @@
+"""Latency histograms and the shared ``EngineStats.snapshot`` serializer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, LatencyHistogram, ScanRequest
+from repro.lists.generate import random_list, random_values
+
+
+def test_empty_histogram_snapshot():
+    hist = LatencyHistogram()
+    snap = hist.snapshot()
+    assert snap["count"] == 0
+    assert snap["p50"] == 0.0 and snap["p95"] == 0.0 and snap["p99"] == 0.0
+    assert snap["buckets"] == []
+    json.dumps(snap)  # JSON-safe
+
+
+def test_single_observation_quantiles_are_exact():
+    hist = LatencyHistogram()
+    hist.observe(0.004)
+    assert hist.count == 1
+    assert hist.min == pytest.approx(0.004)
+    assert hist.max == pytest.approx(0.004)
+    for q in (0.5, 0.95, 0.99):
+        assert hist.quantile(q) == pytest.approx(0.004)
+
+
+def test_quantiles_are_monotone_and_bounded():
+    rng = np.random.default_rng(0)
+    hist = LatencyHistogram()
+    values = rng.uniform(0.0001, 0.5, size=5000)
+    for v in values:
+        hist.observe(float(v))
+    p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+    assert hist.min <= p50 <= p95 <= p99 <= hist.max
+    # log-bucketed interpolation: right order of magnitude, not exact
+    assert p50 == pytest.approx(np.quantile(values, 0.5), rel=0.6)
+    assert p95 == pytest.approx(np.quantile(values, 0.95), rel=0.6)
+
+
+def test_negative_observations_clamp_to_zero():
+    hist = LatencyHistogram()
+    hist.observe(-1.0)
+    assert hist.count == 1
+    assert hist.min == 0.0
+    assert hist.quantile(0.5) == 0.0
+
+
+def test_merge_matches_combined_stream():
+    a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    rng = np.random.default_rng(1)
+    for v in rng.uniform(0.001, 0.1, size=500):
+        a.observe(float(v))
+        combined.observe(float(v))
+    for v in rng.uniform(0.01, 1.0, size=500):
+        b.observe(float(v))
+        combined.observe(float(v))
+    a.merge(b)
+    assert a.count == combined.count
+    assert a.counts == combined.counts
+    assert a.quantile(0.95) == pytest.approx(combined.quantile(0.95))
+
+
+def make_request(n, seed, tag=None):
+    rng = np.random.default_rng(seed)
+    lst = random_list(n, rng, values=random_values(n, rng))
+    return ScanRequest(lst=lst, op="sum", tag=tag)
+
+
+def test_engine_stats_snapshot_is_json_safe_and_complete():
+    with Engine(executor="sync") as engine:
+        for seed in range(4):
+            engine.queue.submit(make_request(64, seed))
+        responses = engine.run_batch(engine.queue.drain())
+        assert all(r.ok for r in responses)
+        snap = engine.stats.snapshot()
+    json.dumps(snap)  # the /stats payload must serialize as-is
+    assert snap["requests"] == 4
+    assert snap["batches"] == 1
+    assert snap["errors"] == 0
+    assert snap["shed"] == 0
+    assert isinstance(snap["algorithms"], dict)
+    # queue_wait and execute histograms saw this batch
+    assert snap["latency"]["queue_wait"]["count"] == 4
+    assert snap["latency"]["execute"]["count"] == 1
+    assert snap["latency"]["total"]["count"] == 0  # no serving layer here
+
+
+def test_engine_stats_as_rows_derives_from_snapshot():
+    with Engine(executor="sync") as engine:
+        engine.queue.submit(make_request(64, 0))
+        engine.run_batch(engine.queue.drain())
+        rows = engine.stats.as_rows()
+    labels = [row[0] for row in rows]
+    assert "requests" in labels
+    assert "cache hits" in labels  # underscore names render with spaces
+    assert any(label.startswith("latency[queue_wait]") for label in labels)
+    assert any(label.startswith("latency[execute]") for label in labels)
+    # the total histogram is untouched without the serving layer
+    assert not any(label.startswith("latency[total]") for label in labels)
+
+
+def test_observe_response_and_shed_feed_stats():
+    engine = Engine(executor="sync")
+    engine.observe_response(0.010)
+    engine.observe_response(0.020)
+    engine.observe_shed()
+    engine.observe_shed(2)
+    snap = engine.stats.snapshot()
+    engine.close()
+    assert snap["latency"]["total"]["count"] == 2
+    assert snap["shed"] == 3

@@ -282,6 +282,26 @@ def test_path_scoping_keeps_scoped_rules_out_of_other_trees():
     assert run(fork, "src/repro/bench/x.py") == []
 
 
+def test_serve_tree_carries_clock_and_lock_rules():
+    # the serving front-end's latency accounting must stay deterministic
+    # under injected clocks, exactly like core/engine/trace ...
+    snippet = """
+    import time
+    t = time.perf_counter()
+    """
+    assert rules_of(run(snippet, "src/repro/serve/server.py")) == [
+        "injectable-clock"
+    ]
+    # ... and the (unscoped) lock hygiene rule reaches it too
+    locky = """
+    def f(lock):
+        lock.acquire()
+        work()
+        lock.release()
+    """
+    assert "lock-with-only" in rules_of(run(locky, "src/repro/serve/server.py"))
+
+
 def test_cache_module_itself_is_exempt_from_cache_key_rule():
     snippet = """
     def get(self, key):

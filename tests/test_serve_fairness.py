@@ -1,0 +1,122 @@
+"""Per-client fairness unit tests (pure logic, injected time)."""
+
+import pytest
+
+from repro.serve.fairness import ClientGovernor, TokenBucket
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+
+
+def test_bucket_starts_full_and_drains():
+    bucket = TokenBucket(rate=10.0, burst=3.0)
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    wait = bucket.try_take(0.0)
+    assert wait == pytest.approx(0.1)  # one token at 10/s
+
+
+def test_bucket_refills_at_rate():
+    bucket = TokenBucket(rate=10.0, burst=2.0)
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.05) > 0.0  # only half a token back
+    assert bucket.try_take(0.2) == 0.0  # refilled
+
+
+def test_bucket_caps_at_burst():
+    bucket = TokenBucket(rate=100.0, burst=2.0)
+    bucket.try_take(0.0)
+    # a long idle period cannot bank more than `burst` tokens
+    assert bucket.try_take(1000.0) == 0.0
+    assert bucket.try_take(1000.0) == 0.0
+    assert bucket.try_take(1000.0) > 0.0
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=2.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+# ----------------------------------------------------------------------
+# governor
+# ----------------------------------------------------------------------
+
+
+def test_unlimited_governor_admits_everything():
+    gov = ClientGovernor()
+    assert all(gov.admit("a", float(t)) is None for t in range(1000))
+    assert gov.admitted == 1000
+    assert gov.rejected == 0
+
+
+def test_rate_limit_rejects_with_retry_after():
+    gov = ClientGovernor(rate=10.0, burst=2.0)
+    assert gov.admit("a", 0.0) is None
+    assert gov.admit("a", 0.0) is None
+    code, retry_after = gov.admit("a", 0.0)
+    assert code == "rate-limited"
+    assert retry_after == pytest.approx(0.1)
+    # an unrelated client has its own bucket
+    assert gov.admit("b", 0.0) is None
+
+
+def test_inflight_cap_clears_on_settle():
+    gov = ClientGovernor(max_inflight=2)
+    assert gov.admit("a", 0.0) is None
+    assert gov.admit("a", 0.0) is None
+    code, retry_after = gov.admit("a", 0.0)
+    assert code == "rate-limited"
+    assert retry_after is None  # no refill estimate for the cap
+    gov.settle("a")
+    assert gov.inflight("a") == 1
+    assert gov.admit("a", 0.0) is None
+
+
+def test_greedy_client_cannot_starve_polite_client():
+    gov = ClientGovernor(rate=100.0, burst=5.0, max_inflight=8)
+    greedy_rejections = 0
+    for i in range(50):  # a burst at t=0 blows through the bucket
+        if gov.admit("greedy", 0.0) is not None:
+            greedy_rejections += 1
+    assert greedy_rejections == 45
+    # the polite client is untouched by the greedy client's bucket
+    for t in range(5):
+        assert gov.admit("polite", float(t)) is None
+        gov.settle("polite")
+
+
+def test_forget_drops_only_idle_state():
+    gov = ClientGovernor(max_inflight=4)
+    gov.admit("busy", 0.0)
+    gov.admit("idle", 0.0)
+    gov.settle("idle")
+    gov.forget("busy")  # still in flight: kept
+    gov.forget("idle")  # idle: dropped
+    assert gov.snapshot()["clients"] == 1
+    assert gov.inflight("busy") == 1
+
+
+def test_snapshot_is_json_safe():
+    import json
+
+    gov = ClientGovernor(rate=10.0, burst=4.0, max_inflight=2)
+    gov.admit("a", 0.0)
+    gov.admit("a", 0.0)
+    gov.admit("a", 0.0)  # rejected by the cap
+    snap = gov.snapshot()
+    json.dumps(snap)
+    assert snap == {
+        "clients": 1,
+        "admitted": 2,
+        "rejected": 1,
+        "inflight": 2,
+        "rate": 10.0,
+        "burst": 4.0,
+        "max_inflight": 2,
+    }

@@ -1,0 +1,172 @@
+"""Wire-protocol unit tests: framing, parsing, error mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.list_scan import list_scan
+from repro.engine.queue import ScanResponse
+from repro.lists.generate import random_list
+from repro.serve.protocol import (
+    FrameDecoder,
+    ProtocolError,
+    decode_message,
+    encode_frame,
+    encode_line,
+    error_to_wire,
+    parse_request,
+    response_to_wire,
+)
+
+
+def valid_message(**overrides):
+    rng = np.random.default_rng(0)
+    lst = random_list(8, rng)
+    message = {
+        "id": 1,
+        "type": "scan",
+        "next": lst.next.tolist(),
+        "head": int(lst.head),
+        "values": list(range(8)),
+        "op": "sum",
+    }
+    message.update(overrides)
+    return message
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    message = {"id": 42, "type": "ping"}
+    decoder = FrameDecoder()
+    assert decoder.feed(encode_frame(message)) == [message]
+
+
+def test_frame_decoder_handles_partial_and_batched_feeds():
+    messages = [{"id": i, "v": "x" * i} for i in range(5)]
+    stream = b"".join(encode_frame(m) for m in messages)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), 3):  # drip-feed 3 bytes at a time
+        out.extend(decoder.feed(stream[i : i + 3]))
+    assert out == messages
+
+
+def test_frame_decoder_rejects_oversized_frame():
+    decoder = FrameDecoder(max_bytes=16)
+    with pytest.raises(ProtocolError) as exc_info:
+        decoder.feed(encode_frame({"pad": "y" * 100}))
+    assert exc_info.value.error.code == "bad-message"
+
+
+def test_jsonl_roundtrip():
+    message = {"id": 7, "type": "stats"}
+    line = encode_line(message)
+    assert line.endswith(b"\n")
+    assert decode_message(line.strip()) == message
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [b"not json at all", b"\xff\xfe\x00", b"[1, 2, 3]", b'"just a string"'],
+)
+def test_decode_message_rejects_garbage(payload):
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_message(payload)
+    assert exc_info.value.error.code == "bad-message"
+    assert exc_info.value.error.phase == "admit"
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+
+
+def test_parse_request_builds_equivalent_scan_request():
+    message = valid_message()
+    request = parse_request(message)
+    assert request.lst.next.tolist() == message["next"]
+    assert request.lst.values.tolist() == message["values"]
+    assert request.op.name == "sum"
+    assert request.inclusive is False
+    assert request.algorithm == "auto"
+
+
+def test_parse_rank_defaults_to_unit_values():
+    message = valid_message(type="rank")
+    message.pop("values")
+    request = parse_request(message)
+    assert request.lst.values.tolist() == [1] * 8
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"type": "frobnicate"},
+        {"next": None},
+        {"next": []},
+        {"next": [[0, 1], [1, 0]]},
+        {"next": ["a", "b"]},
+        {"head": None},
+        {"head": "zero"},
+        {"head": 99},
+        {"head": -1},
+        {"head": True},
+        {"values": "not-a-list"},
+        {"values": ["a", 1, None]},
+        {"op": "no-such-op"},
+        {"inclusive": "yes"},
+        {"algorithm": "quantum"},
+    ],
+    ids=lambda m: f"{next(iter(m))}={next(iter(m.values()))!r}"[:40],
+)
+def test_parse_request_rejects_bad_fields(mutation):
+    message = valid_message(**mutation)
+    with pytest.raises(ProtocolError) as exc_info:
+        parse_request(message)
+    error = exc_info.value.error
+    assert error.code == "bad-field"
+    assert error.phase == "admit"
+    assert exc_info.value.wire_id == message.get("id")
+
+
+# ----------------------------------------------------------------------
+# response encoding
+# ----------------------------------------------------------------------
+
+
+def test_response_to_wire_success_shape():
+    rng = np.random.default_rng(1)
+    lst = random_list(16, rng)
+    result = list_scan(lst, "sum")
+    resp = ScanResponse(
+        request_id=3, result=result, algorithm="serial", n=16, batch_lists=4
+    )
+    wire = response_to_wire("abc", resp, latency=0.002)
+    assert wire == {
+        "id": "abc",
+        "ok": True,
+        "result": result.tolist(),
+        "algorithm": "serial",
+        "cached": False,
+        "coalesced": False,
+        "batch_lists": 4,
+        "n": 16,
+        "latency": 0.002,
+    }
+
+
+def test_error_responses_carry_structured_error_and_retry_after():
+    message = valid_message(head=99)
+    with pytest.raises(ProtocolError) as exc_info:
+        parse_request(message)
+    wire = error_to_wire(exc_info.value.wire_id, exc_info.value.error, 0.012)
+    assert wire["ok"] is False
+    assert wire["id"] == 1
+    assert wire["error"]["code"] == "bad-field"
+    assert wire["error"]["phase"] == "admit"
+    assert wire["retry_after"] == 0.012
+    # without a hint the key is absent, not null
+    assert "retry_after" not in error_to_wire(1, exc_info.value.error)

@@ -1,0 +1,436 @@
+"""Integration tests for the asyncio serving front-end.
+
+Every test runs a real :class:`ScanServer` on an ephemeral loopback
+port and talks to it over real sockets.  The engine-side locks are
+instrumented with the runtime lock-order checker for the whole suite
+(the serving layer drives the engine from an executor thread while
+admissions run on the event-loop thread — exactly the interleaving the
+audit exists to police).
+
+No pytest-asyncio here: each test owns its loop via ``asyncio.run``.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+import repro.engine.cache as cache_mod
+import repro.engine.engine as engine_mod
+import repro.engine.workers as workers_mod
+from repro.core.list_scan import list_scan
+from repro.engine import Engine
+from repro.lint.lockorder import instrumented_locks
+from repro.lists.generate import random_list, random_values
+from repro.serve import ScanServer, ServeConfig
+from repro.serve.client import run_bench
+from repro.serve.protocol import FrameDecoder, encode_frame, encode_line
+from repro.trace.tracer import Tracer
+
+
+@pytest.fixture(autouse=True)
+def lock_order_audit():
+    """Race-audit the whole serve suite: engine locks become checked
+    locks while the server suite hammers them from two threads."""
+    with instrumented_locks(engine_mod, workers_mod, cache_mod) as graph:
+        yield graph
+    graph.assert_acyclic()
+
+
+def make_server(**config_kw):
+    config_kw.setdefault("port", 0)
+    engine_kw = config_kw.pop("engine_kw", {})
+    engine_kw.setdefault("executor", "sync")
+    engine_kw.setdefault("max_pending", 1024)
+    trace = config_kw.pop("trace", None)
+    if trace is not None:  # one tracer sees both layers' spans
+        engine_kw.setdefault("trace", trace)
+    engine = Engine(**engine_kw)
+    return ScanServer(engine, ServeConfig(**config_kw), trace=trace)
+
+
+def scan_message(mid, n, seed, client=None):
+    rng = np.random.default_rng(seed)
+    lst = random_list(n, rng, values=random_values(n, rng))
+    message = {
+        "id": mid,
+        "type": "scan",
+        "next": lst.next.tolist(),
+        "head": int(lst.head),
+        "values": lst.values.tolist(),
+        "op": "sum",
+    }
+    if client is not None:
+        message["client"] = client
+    return message, lst
+
+
+async def framed_exchange(port, messages, expect=None):
+    """Send frames, read until ``expect`` (default len(messages)) replies."""
+    expect = len(messages) if expect is None else expect
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    decoder = FrameDecoder()
+    replies = []
+    try:
+        for message in messages:
+            writer.write(encode_frame(message))
+        await writer.drain()
+        while len(replies) < expect:
+            data = await asyncio.wait_for(reader.read(1 << 16), timeout=10.0)
+            if not data:
+                break
+            replies.extend(decoder.feed(data))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return replies
+
+
+# ----------------------------------------------------------------------
+# correctness under concurrency
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_client_soak_is_bit_identical():
+    async def main():
+        server = make_server(flush_size=16, max_window=0.005)
+        await server.start()
+        try:
+            report = await run_bench(
+                "127.0.0.1",
+                server.port,
+                clients=6,
+                requests=25,
+                sizes=(4, 33, 190, 512),
+                poison_every=7,
+                verify=True,
+                seed=3,
+            )
+        finally:
+            await server.shutdown()
+        return report, server
+
+    report, server = asyncio.run(main())
+    counters = report["counters"]
+    total = 6 * 25
+    poison = sum(1 for i in range(25) if (i + 1) % 7 == 0) * 6
+    assert counters["ok"] == total - poison
+    # every healthy result matched list_scan bit for bit
+    assert counters["verified"] == counters["ok"]
+    assert counters["mismatched"] == 0
+    # every poison request came back as a structured error, never a hang
+    assert counters["poison_rejected"] == poison
+    assert counters["poison_accepted"] == 0
+    assert counters["disconnects"] == 0
+    assert report["latency"]["count"] > 0
+    # the engine saw every request; the server answered every request
+    assert server.counters["responses"] == total
+    snap = server.engine.stats.snapshot()
+    assert snap["latency"]["total"]["count"] == total
+
+
+def test_jsonl_dialect_and_admin_messages():
+    async def main():
+        server = make_server(flush_size=4, max_window=0.005)
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            message, lst = scan_message(5, 12, seed=1)
+            writer.write(encode_line(message))
+            writer.write(encode_line({"id": 6, "type": "ping"}))
+            await writer.drain()
+            replies = {}
+            while len(replies) < 2:
+                line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                reply = json.loads(line)
+                replies[reply["id"]] = reply
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.shutdown()
+        return replies, lst
+
+    replies, lst = asyncio.run(main())
+    assert replies[6]["pong"] is True
+    scan = replies[5]
+    assert scan["ok"] is True
+    assert scan["result"] == list_scan(lst, "sum").tolist()
+    assert scan["latency"] > 0
+
+
+def test_http_stats_endpoint():
+    async def main():
+        server = make_server(flush_size=1)
+        await server.start()
+        try:
+            # run one request through so the histograms are non-trivial
+            message, _ = scan_message(1, 16, seed=2)
+            await framed_exchange(server.port, [message])
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10.0)
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.shutdown()
+        return raw
+
+    raw = asyncio.run(main())
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert b"200 OK" in head
+    assert b"application/json" in head
+    payload = json.loads(body)
+    # the engine half is exactly EngineStats.snapshot (same serializer
+    # as `repro-c90 batch --stats`)
+    assert payload["engine"]["requests"] == 1
+    assert payload["engine"]["latency"]["total"]["count"] == 1
+    assert payload["server"]["responses"] == 1
+    assert payload["server"]["window"]["flushes"] >= 1
+    assert payload["server"]["fairness"]["admitted"] == 1
+
+
+def test_http_unknown_path_is_404():
+    async def main():
+        server = make_server()
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /nope HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10.0)
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.shutdown()
+        return raw
+
+    assert b"404" in asyncio.run(main()).split(b"\r\n")[0]
+
+
+def test_malformed_frames_get_structured_errors_and_connection_survives():
+    async def main():
+        server = make_server(flush_size=1)
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            decoder = FrameDecoder()
+            import struct
+
+            garbage = b"this is not json"
+            writer.write(struct.pack(">I", len(garbage)) + garbage)
+            bad_field, _ = scan_message(2, 8, seed=0)
+            bad_field["head"] = 999
+            writer.write(encode_frame(bad_field))
+            good, lst = scan_message(3, 8, seed=0)
+            writer.write(encode_frame(good))
+            await writer.drain()
+            replies = []
+            while len(replies) < 3:
+                data = await asyncio.wait_for(reader.read(1 << 16), timeout=10.0)
+                assert data, "server hung up instead of answering"
+                replies.extend(decoder.feed(data))
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.shutdown()
+        return replies, lst
+
+    replies, lst = asyncio.run(main())
+    by_id = {r["id"]: r for r in replies}
+    assert by_id[None]["error"]["code"] == "bad-message"
+    assert by_id[2]["error"]["code"] == "bad-field"
+    assert by_id[3]["ok"] is True
+    assert by_id[3]["result"] == list_scan(lst, "sum").tolist()
+
+
+# ----------------------------------------------------------------------
+# fairness and shedding
+# ----------------------------------------------------------------------
+
+
+def test_greedy_client_is_limited_while_polite_client_sails_through():
+    async def main():
+        server = make_server(
+            flush_size=4,
+            max_window=0.005,
+            rate=50.0,
+            burst=5.0,
+        )
+        await server.start()
+        try:
+            # greedy: 40 requests in one burst, ignoring retry_after
+            greedy = [
+                scan_message(i, 8, seed=i, client="greedy")[0]
+                for i in range(40)
+            ]
+            greedy_task = asyncio.ensure_future(
+                framed_exchange(server.port, greedy)
+            )
+            # polite: 5 sequential requests, each awaited
+            polite_ok = 0
+            for i in range(5):
+                message, _ = scan_message(100 + i, 8, seed=i, client="polite")
+                (reply,) = await framed_exchange(server.port, [message])
+                assert reply["ok"], reply
+                polite_ok += 1
+            greedy_replies = await greedy_task
+        finally:
+            await server.shutdown()
+        return polite_ok, greedy_replies, server
+
+    polite_ok, greedy_replies, server = asyncio.run(main())
+    assert polite_ok == 5
+    assert len(greedy_replies) == 40
+    limited = [
+        r for r in greedy_replies
+        if not r["ok"] and r["error"]["code"] == "rate-limited"
+    ]
+    assert limited, "the greedy burst was never rate-limited"
+    for reply in limited:
+        assert reply["retry_after"] > 0
+    assert server.counters["shed_rate_limited"] == len(limited)
+    assert server.engine.stats.shed >= len(limited)
+
+
+def test_saturation_sheds_with_overloaded_and_bounded_latency():
+    async def main():
+        server = make_server(
+            engine_kw={"max_pending": 4},
+            flush_size=1024,  # size trigger unreachable
+            min_window=0.2,
+            max_window=0.2,  # hold the queue full for 200 ms
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            messages = [scan_message(i, 8, seed=i)[0] for i in range(60)]
+            replies = await framed_exchange(server.port, messages)
+        finally:
+            await server.shutdown()
+        return replies, loop.time() - t0, server
+
+    replies, elapsed, server = asyncio.run(main())
+    # every request was answered: no unhandled exception, no hung client
+    assert len(replies) == 60
+    ok = [r for r in replies if r["ok"]]
+    shed = [r for r in replies if not r["ok"]]
+    assert len(ok) == 4  # the queue's capacity
+    assert len(shed) == 56
+    for reply in shed:
+        assert reply["error"]["code"] == "overloaded"
+        assert reply["error"]["phase"] == "admit"
+        assert reply["retry_after"] > 0
+    # shed responses return immediately; the whole episode is bounded
+    # by roughly one batch window, nowhere near a timeout
+    assert elapsed < 5.0
+    assert server.counters["shed_overloaded"] == 56
+    assert server.engine.stats.snapshot()["shed"] == 56
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_shutdown_answers_admitted_work_and_closes_engine():
+    async def main():
+        server = make_server(
+            flush_size=1024,
+            min_window=30.0,
+            max_window=30.0,  # nothing flushes on its own
+        )
+        await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        decoder = FrameDecoder()
+        lists = {}
+        for i in range(5):
+            message, lst = scan_message(i, 16, seed=i)
+            lists[i] = lst
+            writer.write(encode_frame(message))
+        await writer.drain()
+        await asyncio.sleep(0.1)  # let the admissions land
+        assert len(server.engine.queue) == 5
+        await server.shutdown()  # must drain, not drop
+        replies = []
+        while len(replies) < 5:
+            data = await asyncio.wait_for(reader.read(1 << 16), timeout=10.0)
+            if not data:
+                break
+            replies.extend(decoder.feed(data))
+        writer.close()
+        return replies, lists, server
+
+    replies, lists, server = asyncio.run(main())
+    # admitted work was executed on the way down, results intact
+    assert len(replies) == 5
+    for reply in replies:
+        assert reply["ok"], reply
+        expected = list_scan(lists[reply["id"]], "sum")
+        assert reply["result"] == expected.tolist()
+    assert server.engine.queue.closed
+    assert len(server._pending) == 0
+
+
+def test_remote_shutdown_requires_opt_in():
+    async def main():
+        server = make_server()  # allow_shutdown defaults to False
+        await server.start()
+        try:
+            (reply,) = await framed_exchange(
+                server.port, [{"id": 1, "type": "shutdown"}]
+            )
+        finally:
+            await server.shutdown()
+        return reply
+
+    reply = asyncio.run(main())
+    assert reply["ok"] is False
+    assert reply["error"]["code"] == "forbidden"
+
+
+def test_remote_shutdown_with_opt_in_stops_the_server():
+    async def main():
+        server = make_server(allow_shutdown=True)
+        await server.start()
+        (reply,) = await framed_exchange(
+            server.port, [{"id": 1, "type": "shutdown"}]
+        )
+        await asyncio.wait_for(server.wait_closed(), timeout=10.0)
+        return reply, server
+
+    reply, server = asyncio.run(main())
+    assert reply["ok"] is True and reply["stopping"] is True
+    assert server.engine.queue.closed
+
+
+def test_traced_server_records_serving_spans():
+    async def main():
+        tracer = Tracer()
+        server = make_server(flush_size=1, trace=tracer)
+        await server.start()
+        try:
+            message, _ = scan_message(1, 16, seed=0)
+            (reply,) = await framed_exchange(server.port, [message])
+            assert reply["ok"]
+        finally:
+            await server.shutdown()
+        return tracer
+
+    tracer = asyncio.run(main())
+    names = {span.name for root in tracer.roots for span in root.walk()}
+    for expected in ("accept", "admit", "flush", "respond", "run_batch"):
+        assert expected in names, f"missing {expected} span (got {names})"

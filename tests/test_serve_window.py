@@ -1,0 +1,120 @@
+"""Adaptive batch-window unit tests (pure logic, injected time)."""
+
+import pytest
+
+from repro.serve.window import AdaptiveWindow
+
+
+def make_window(**kw):
+    kw.setdefault("slo_p95", 0.050)
+    kw.setdefault("min_window", 0.001)
+    kw.setdefault("max_window", 0.016)
+    kw.setdefault("flush_size", 8)
+    return AdaptiveWindow(**kw)
+
+
+def test_initial_window_defaults_to_max():
+    assert make_window().window == 0.016
+    assert make_window(initial=0.004).window == 0.004
+    # initial is clamped into [min, max]
+    assert make_window(initial=99.0).window == 0.016
+    assert make_window(initial=1e-9).window == 0.001
+
+
+def test_size_trigger_fires_at_flush_size():
+    win = make_window()
+    assert not win.should_flush(now=0.0, pending=7, oldest_admitted_at=0.0)
+    assert win.should_flush(now=0.0, pending=8, oldest_admitted_at=0.0)
+
+
+def test_deadline_trigger_fires_when_oldest_expires():
+    win = make_window(initial=0.010)
+    t0 = 100.0
+    assert win.deadline(t0) == pytest.approx(100.010)
+    assert not win.should_flush(now=100.009, pending=1, oldest_admitted_at=t0)
+    assert win.should_flush(now=100.010, pending=1, oldest_admitted_at=t0)
+
+
+def test_empty_queue_never_flushes():
+    win = make_window()
+    assert not win.should_flush(now=1e9, pending=0, oldest_admitted_at=None)
+
+
+def test_overshoot_shrinks_multiplicatively():
+    win = make_window(initial=0.016)
+    for _ in range(20):
+        win.note_latency(0.200)  # way over the 50 ms SLO
+    win.adapt()
+    assert win.window == pytest.approx(0.008)
+    assert win.shrinks == 1
+    for _ in range(8):  # keeps halving down to the floor
+        win.adapt()
+    assert win.window == pytest.approx(0.001)
+
+
+def test_headroom_grows_gently():
+    win = make_window(initial=0.004)
+    for _ in range(20):
+        win.note_latency(0.005)  # well under 0.7 * SLO
+    win.adapt()
+    assert win.window == pytest.approx(0.005)
+    assert win.grows == 1
+    for _ in range(50):  # growth saturates at max_window
+        win.adapt()
+    assert win.window == pytest.approx(0.016)
+
+
+def test_in_band_latency_holds_the_window():
+    win = make_window(initial=0.004)
+    for _ in range(20):
+        win.note_latency(0.040)  # between 0.7*SLO and SLO
+    win.adapt()
+    assert win.window == pytest.approx(0.004)
+    assert win.grows == 0 and win.shrinks == 0
+
+
+def test_observed_p95_is_the_95th_percentile():
+    win = make_window()
+    assert win.observed_p95() is None
+    for ms in range(1, 101):  # 1..100 ms
+        win.note_latency(ms / 1000.0)
+    assert win.observed_p95() == pytest.approx(0.095)
+
+
+def test_sample_window_slides():
+    win = make_window(sample_size=10)
+    for _ in range(10):
+        win.note_latency(1.0)  # ancient overload
+    for _ in range(10):
+        win.note_latency(0.001)  # recovered
+    assert win.observed_p95() == pytest.approx(0.001)
+
+
+def test_snapshot_is_json_safe():
+    import json
+
+    win = make_window()
+    win.note_latency(0.010)
+    win.adapt()
+    snap = win.snapshot()
+    json.dumps(snap)
+    assert snap["flushes"] == 1
+    assert snap["samples"] == 1
+    assert snap["slo_p95"] == 0.050
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"slo_p95": 0.0},
+        {"min_window": 0.0},
+        {"min_window": 0.1, "max_window": 0.01},
+        {"flush_size": 0},
+        {"shrink": 1.0},
+        {"grow": 1.0},
+        {"headroom": 1.5},
+    ],
+)
+def test_rejects_bad_parameters(kw):
+    with pytest.raises(ValueError):
+        make_window(**kw)
