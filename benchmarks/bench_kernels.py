@@ -10,11 +10,16 @@ equations it was derived from end to end.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.bench.harness import print_table, record
 from repro.bench.workloads import get_random_list
+from repro.core.operators import AFFINE, SUM
+from repro.core.sublist import sublist_list_scan
+from repro.kernels import HAVE_NUMBA, available_backends
 from repro.machine.calibration import compare_with_paper
 from repro.machine.config import CRAY_C90
 from repro.simulate.sublist_sim import sublist_rank_sim
@@ -82,3 +87,83 @@ def test_phase_costs_scale_with_n(benchmark, smoke):
         "clk/elem",
         ok=7.0 < slope < 11.0,
     )
+
+
+def _time_backend(lst, op, backend, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = sublist_list_scan(lst, op, rng=0, kernel_backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.mark.benchmark(group="kernel-backends")
+def test_kernel_backend_comparison(benchmark, smoke, full_sweep):
+    """Wall-clock comparison of the pluggable hot-loop backends.
+
+    The ratios are *recorded* in the harness registry (the CI artifact),
+    never asserted: the interpreted ``python`` backend exists for
+    correctness coverage and is expected slow, and the ``numba`` ratio
+    depends on the host.  When numba is not importable the record says
+    so honestly (``ok=False``: the compiled claim was not measured)
+    instead of quietly passing.
+    """
+    from repro.lists.generate import random_list
+
+    n = 20_000 if smoke else (500_000 if full_sweep else 100_000)
+    rng = np.random.default_rng(3)
+    lst = random_list(n, rng, values=rng.integers(-50, 50, n))
+    affine = random_list(
+        n,
+        rng,
+        values=np.stack(
+            [rng.uniform(0.5, 1.5, n), rng.uniform(-1, 1, n)], axis=1
+        ),
+    )
+
+    def run():
+        rows = []
+        for op_label, work, op in (("sum", lst, SUM), ("affine", affine, AFFINE)):
+            t_ref, ref = _time_backend(work, op, "numpy")
+            for backend in available_backends():
+                if backend == "numpy":
+                    rows.append([op_label, backend, t_ref, 1.0])
+                    continue
+                t_b, got = _time_backend(work, op, backend)
+                if op is SUM:
+                    np.testing.assert_array_equal(got, ref)
+                else:
+                    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-12)
+                rows.append([op_label, backend, t_b, t_ref / t_b])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        ["operator", "backend", "seconds", "speedup vs numpy"],
+        rows,
+        title=f"kernel backends, n = {n:,} (recorded, never asserted)",
+    )
+    for op_label, backend, _, ratio in rows:
+        if backend == "numpy":
+            continue
+        record(
+            "kernel_backends",
+            f"{backend} backend vs numpy reference ({op_label})",
+            None,
+            float(ratio),
+            "x",
+            ok=True,
+            note=f"n={n:,}; informational — ratio recorded, not asserted",
+        )
+    if not HAVE_NUMBA:
+        record(
+            "kernel_backends",
+            "numba backend vs numpy reference",
+            None,
+            0.0,
+            "x",
+            ok=False,
+            note="numba not importable on this host; compiled speedup unmeasured",
+        )

@@ -130,8 +130,14 @@ def sample_sublist_lengths(
         raise ValueError("m must be >= 1")
     if m > n - 1:
         raise ValueError(f"cannot place m={m} splits in a list of length {n}")
+    # imported lazily: ``core.schedule`` imports this module at package
+    # init, and ``lists`` pulls in ``core`` — a top-level import cycles
+    from ..lists.generate import INDEX_DTYPE
+
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    splits = np.sort(gen.choice(np.arange(1, n), size=m, replace=False))
+    splits = np.sort(
+        gen.choice(np.arange(1, n, dtype=INDEX_DTYPE), size=m, replace=False)
+    )
     edges = np.concatenate(([0], splits, [n]))
     return np.diff(edges)
 

@@ -86,7 +86,7 @@ def tail_cost(
     s_max = expected_longest(n, m)
     if s_max <= s0:
         return 0.0
-    steps = np.arange(math.floor(s0), math.ceil(s_max))
+    steps = np.arange(math.floor(s0), math.ceil(s_max), dtype=np.float64)
     g = expected_live_sublists(steps, n, m)
     rank = float(np.sum(costs.a * g + costs.b))
     n_packs = max(1.0, math.log(max(x, math.e)))

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..core.list_scan import list_scan
 from ..core.operators import AFFINE
-from ..lists.generate import LinkedList
+from ..lists.generate import INDEX_DTYPE, LinkedList
 
 __all__ = ["solve_linear_recurrence", "recurrence_list"]
 
@@ -31,7 +31,11 @@ def recurrence_list(
     """Package coefficient sequences into a linked list.
 
     ``a[k]``/``b[k]`` are the coefficients applied at list position
-    ``k`` (node ``order[k]``; identity order by default).
+    ``k`` (node ``order[k]``; identity order by default).  ``order``
+    must be a permutation of ``0..n-1`` — the coefficients are
+    *scattered* through it, where a duplicate index would silently drop
+    a coefficient (last write wins) and an out-of-range one would fail
+    deep inside NumPy; both raise :class:`ValueError` here instead.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -39,8 +43,35 @@ def recurrence_list(
         raise ValueError("a and b must have the same shape")
     n = a.shape[0]
     if order is None:
-        order = np.arange(n)
-    order = np.asarray(order)
+        order = np.arange(n, dtype=INDEX_DTYPE)
+    else:
+        order = np.asarray(order)
+        if (
+            order.ndim != 1
+            or order.shape[0] != n
+            or not np.issubdtype(order.dtype, np.integer)
+        ):
+            raise ValueError(
+                f"order must be a 1-D integer permutation of 0..{n - 1}; "
+                f"got shape {order.shape}, dtype {order.dtype}"
+            )
+        order = order.astype(INDEX_DTYPE)
+        in_range = (order >= 0) & (order < n)
+        if not np.all(in_range):
+            bad = int(order[~in_range][0])
+            raise ValueError(
+                f"order must be a permutation of 0..{n - 1}; "
+                f"index {bad} is out of range"
+            )
+        present = np.zeros(n, dtype=bool)
+        present[order] = True
+        if not present.all():
+            missing = int(np.flatnonzero(~present)[0])
+            raise ValueError(
+                f"order must be a permutation of 0..{n - 1}; it never "
+                f"uses index {missing}, so some index appears twice and "
+                "its coefficient would be silently dropped"
+            )
     values = np.empty((n, 2), dtype=np.float64)
     values[order, 0] = a
     values[order, 1] = b

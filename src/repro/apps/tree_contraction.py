@@ -67,7 +67,8 @@ class ExpressionTree:
         if self.parent[self.root] != self.root:
             raise ValueError("parent[root] must equal root")
         counts = np.bincount(
-            self.parent[np.arange(n) != self.root], minlength=n
+            self.parent[np.arange(n, dtype=INDEX_DTYPE) != self.root],
+            minlength=n,
         )
         internal = counts > 0
         if np.any(counts[internal] != 2):
@@ -165,10 +166,9 @@ def evaluate_expression_tree(
     sibling = _siblings(parent, tree.root, n)
     # left child = the child with the smaller preorder number
     is_left = np.zeros(n, dtype=bool)
-    non_root = np.arange(n) != tree.root
-    is_left[non_root] = preorder[np.arange(n)[non_root]] < preorder[
-        sibling[np.arange(n)[non_root]]
-    ]
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    non_root = idx != tree.root
+    is_left[non_root] = preorder[idx[non_root]] < preorder[sibling[idx[non_root]]]
 
     # leaf numbering by Euler-tour order
     leaf_ids = np.flatnonzero(alive_leaf)

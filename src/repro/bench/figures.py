@@ -18,7 +18,7 @@ from ..analysis.distribution import empirical_order_stats, expected_order_stat
 from ..analysis.predict import predict_run
 from ..core.schedule import optimal_schedule
 from ..analysis.distribution import expected_live_sublists
-from ..lists.generate import random_list
+from ..lists.generate import INDEX_DTYPE, random_list
 from ..simulate.contraction_sim import (
     anderson_miller_scan_sim,
     random_mate_scan_sim,
@@ -127,7 +127,7 @@ def figure11_series(out_dir: str | None = None) -> Dict:
     rng = np.random.default_rng(11)
     for m in (100, 150, 200):
         obs = empirical_order_stats(n, m, samples=20, rng=rng)
-        idx = np.arange(1, m + 2)
+        idx = np.arange(1, m + 2, dtype=INDEX_DTYPE)
         exp = expected_order_stat(idx, n, m)
         for i in range(m + 1):
             rows.append([m, i + 1, exp[i], obs["mean"][i], obs["min"][i], obs["max"][i]])

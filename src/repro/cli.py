@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(>1 executes shards concurrently)",
     )
     p_batch.add_argument(
+        "--kernel-backend", default=None,
+        choices=("numpy", "python", "numba"),
+        help="hot-loop kernel backend (default: REPRO_KERNEL_BACKEND "
+             "env var, else numba when importable, else numpy; "
+             "see docs/kernels.md)",
+    )
+    p_batch.add_argument(
         "--repeat", type=int, default=1,
         help="resubmit the whole batch this many times (exercises the cache)",
     )
@@ -253,6 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=None,
         help="worker-pool width for the threads/processes executors",
+    )
+    p_serve.add_argument(
+        "--kernel-backend", default=None,
+        choices=("numpy", "python", "numba"),
+        help="hot-loop kernel backend (default: REPRO_KERNEL_BACKEND "
+             "env var, else numba when importable, else numpy; "
+             "see docs/kernels.md)",
     )
     p_serve.add_argument(
         "--allow-shutdown", action="store_true",
@@ -401,6 +415,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_capacity=0 if args.no_cache else max(256, 2 * args.count),
         executor=args.executor,
         max_workers=args.workers,
+        kernel_backend=args.kernel_backend,
     )
     with engine:
         t0 = time.perf_counter()
@@ -443,7 +458,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ["driver", "seconds", "Mnodes/s"],
         [
             ["sequential list_scan", t_seq, total_nodes / t_seq / 1e6],
-            [f"engine ({args.executor}, {args.workers} worker(s))", t_eng,
+            [f"engine ({args.executor}, {args.workers} worker(s), "
+             f"{engine.kernel_backend} kernels)", t_eng,
              total_nodes / t_eng / 1e6],
         ],
         title=f"throughput (speedup {speedup:.2f}x)",
@@ -656,6 +672,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         executor=args.executor,
         max_workers=args.workers,
+        kernel_backend=args.kernel_backend,
     )
 
     async def _main() -> None:
@@ -669,7 +686,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
         print(
             f"serving on {config.host}:{server.port} "
-            f"(executor={args.executor}, flush_size={config.flush_size}, "
+            f"(executor={args.executor}, kernels={engine.kernel_backend}, "
+            f"flush_size={config.flush_size}, "
             f"slo_p95={1000 * config.slo_p95:.1f}ms"
             f"{', allow_shutdown' if config.allow_shutdown else ''})",
             flush=True,

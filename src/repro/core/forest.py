@@ -35,6 +35,7 @@ import numpy as np
 
 from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..core.operators import Operator, SUM, get_operator
+from ..kernels.backend import KernelBackend, resolve_backend
 from ..core.schedule import ScheduleIterator, optimal_schedule
 from ..core.stats import ScanStats
 from ..core.tuning import SERIAL_CUTOFF, WYLLIE_CUTOFF, tuned_parameters
@@ -158,6 +159,7 @@ def forest_list_scan(
     out: np.ndarray | None = None,
     return_list_ids: bool = False,
     trace: str | Tracer | None = None,
+    kernel_backend: str | KernelBackend | None = None,
     _depth: int = 0,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Exclusive (or inclusive) scan of every list in a forest.
@@ -182,6 +184,12 @@ def forest_list_scan(
         per-pack live-count events, the same shape ``core.sublist``
         emits (so ``repro.trace.compare`` works on fused engine shards
         too).
+    kernel_backend:
+        How the hot loops run — ``"numpy"`` / ``"python"`` /
+        ``"numba"`` / a :class:`repro.kernels.KernelBackend` instance /
+        ``None`` for env-var-then-auto selection (``docs/kernels.md``).
+        A backend that does not support ``op`` over this value dtype
+        silently falls back to the NumPy reference.
 
     Returns the scan array (indexed by node), optionally with the list
     id array.  Nodes not reachable from any head keep arbitrary values.
@@ -189,6 +197,9 @@ def forest_list_scan(
     op = get_operator(op)
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     tracer = resolve_trace(trace)
+    backend = resolve_backend(kernel_backend)
+    if not backend.supports(op, values):
+        backend = resolve_backend("numpy")
     span = tracer.span if tracer is not None else null_span
     heads = np.asarray(heads, dtype=INDEX_DTYPE)
     n = nxt.shape[0]
@@ -273,19 +284,14 @@ def forest_list_scan(
                     gap = next(gaps)
                     total_steps += int(gap)
                     x = vp_next.size
-                    for _ in range(gap):
-                        vp_sum = op.combine(vp_sum, values[vp_next])
-                        vp_next = nxt[vp_next]
+                    vp_next, vp_sum = backend.traverse_phase1(
+                        nxt, values, vp_next, vp_sum, gap, op
+                    )
                     if stats is not None:
                         stats.add_round(gap)
                         stats.add_work(gap * x, phase="forest_phase1")
-                    done = vp_next == nxt[vp_next]
-                    fin = vp_proc[done]
-                    sl_sum[fin] = vp_sum[done]
-                    sl_tail[fin] = vp_next[done]
-                    keep = ~done
-                    vp_next, vp_sum, vp_proc = (
-                        vp_next[keep], vp_sum[keep], vp_proc[keep],
+                    vp_next, vp_sum, vp_proc, n_fin = backend.pack_phase1(
+                        nxt, vp_next, vp_sum, vp_proc, sl_sum, sl_tail
                     )
                     if stats is not None:
                         stats.add_pack()
@@ -296,7 +302,7 @@ def forest_list_scan(
                             gap=int(gap),
                             live_before=int(x),
                             live_after=int(vp_next.size),
-                            finished=int(fin.size),
+                            finished=int(n_fin),
                         )
 
             # ----------------------------------------------------------
@@ -334,7 +340,22 @@ def forest_list_scan(
                     else None
                 )
                 carries_out = np.empty_like(sl_sum)
-                if m_eff > wyllie_cutoff and _depth < 3:
+                if backend.has_blocked_scan and backend.supports(op, sl_sum):
+                    # Blelloch blocked exclusive scan, one reduced
+                    # chain per original list (snippet-1 shape).
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "blocked"
+                    backend.reduced_scan(
+                        sl_next,
+                        sl_sum,
+                        np.arange(n_lists, dtype=INDEX_DTYPE),
+                        sub_carries,
+                        op,
+                        carries_out,
+                    )
+                    if stats is not None:
+                        stats.add_work(m_eff, phase="forest_phase2_blocked")
+                elif m_eff > wyllie_cutoff and _depth < 3:
                     if phase2_span is not None:
                         phase2_span.attrs["method"] = "recursive"
                     res = forest_list_scan(
@@ -349,6 +370,7 @@ def forest_list_scan(
                         stats=stats,
                         out=carries_out,
                         trace=tracer,
+                        kernel_backend=backend,
                         _depth=_depth + 1,
                     )
                     carries_out = res
@@ -388,18 +410,15 @@ def forest_list_scan(
                     gap = next(gaps3)
                     total_steps += int(gap)
                     x = vp_next.size
-                    for _ in range(gap):
-                        out[vp_next] = vp_sum
-                        vp_sum = op.combine(vp_sum, values[vp_next])
-                        vp_next = nxt[vp_next]
+                    vp_next, vp_sum = backend.traverse_phase3(
+                        nxt, values, vp_next, vp_sum, gap, op, out
+                    )
                     if stats is not None:
                         stats.add_round(gap)
                         stats.add_work(gap * x, phase="forest_phase3")
-                    done = vp_next == nxt[vp_next]
-                    if np.any(done):
-                        out[vp_next] = vp_sum
-                        keep = ~done
-                        vp_next, vp_sum = vp_next[keep], vp_sum[keep]
+                    vp_next, vp_sum = backend.pack_phase3(
+                        nxt, vp_next, vp_sum, out
+                    )
                     if stats is not None:
                         stats.add_pack()
                     if tracer is not None:

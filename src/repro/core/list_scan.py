@@ -100,6 +100,7 @@ def list_scan(
     stats: ScanStats | None = None,
     engine: Engine | None = None,
     trace: str | Tracer | None = None,
+    kernel_backend: str | None = None,
     **kwargs: Any,
 ) -> np.ndarray:
     """Scan a linked list under a binary associative operator.
@@ -138,6 +139,13 @@ def list_scan(
         configuration the benchmarks measure) or a
         :class:`repro.trace.Tracer` collecting per-phase spans and
         pack events.  See ``docs/tracing.md``.
+    kernel_backend:
+        Kernel backend for the hot loops of the sublist algorithm
+        (``"numpy"`` / ``"python"`` / ``"numba"`` / ``None`` for
+        env-var-then-auto selection; ``docs/kernels.md``).  Ignored by
+        the other algorithms, which have no pluggable kernels.
+        Incompatible with ``engine=`` — the engine selects its own
+        backend (``Engine(kernel_backend=...)``).
     **kwargs:
         Forwarded to the selected implementation (e.g. ``config=`` for
         the sublist algorithm, ``variant=`` for Wyllie).
@@ -152,7 +160,13 @@ def list_scan(
         validate_list_strict(lst)
     if engine is not None:
         dropped = [
-            name for name, value in (("rng", rng), ("stats", stats), ("trace", trace))
+            name
+            for name, value in (
+                ("rng", rng),
+                ("stats", stats),
+                ("trace", trace),
+                ("kernel_backend", kernel_backend),
+            )
             if value is not None
         ]
         dropped.extend(sorted(kwargs))
@@ -175,7 +189,7 @@ def list_scan(
 
             return sublist_list_scan(
                 lst, op, inclusive=inclusive, rng=rng, stats=stats,
-                trace=tracer, **kwargs,
+                trace=tracer, kernel_backend=kernel_backend, **kwargs,
             )
         if algorithm == "wyllie":
             from ..baselines.wyllie import wyllie_list_scan
@@ -214,6 +228,9 @@ def list_rank(
     validate: bool = False,
     rng: np.random.Generator | int | None = None,
     stats: ScanStats | None = None,
+    engine: Engine | None = None,
+    trace: str | Tracer | None = None,
+    kernel_backend: str | None = None,
     **kwargs: Any,
 ) -> np.ndarray:
     """Rank every node: its link distance from the head (head = 0).
@@ -221,6 +238,13 @@ def list_rank(
     Equivalent to ``list_scan`` of all-ones values under ``+`` —
     "list ranking is the list scan where plus is the operator and the
     values to be summed are all equal to one" (Section 1).
+
+    ``engine=`` serves the ranking through a batched
+    :class:`repro.engine.Engine` and ``trace=`` attaches a
+    :class:`repro.trace.Tracer`, exactly as for :func:`list_scan` —
+    including the guard: combining ``engine=`` with ``rng``, ``stats``,
+    ``trace``, ``kernel_backend`` or implementation ``**kwargs`` raises
+    :class:`TypeError` instead of silently dropping them.
     """
     ones = LinkedList(lst.next, lst.head, np.ones(lst.n, dtype=np.int64))
     return list_scan(
@@ -231,5 +255,8 @@ def list_rank(
         validate=validate,
         rng=rng,
         stats=stats,
+        engine=engine,
+        trace=trace,
+        kernel_backend=kernel_backend,
         **kwargs,
     )

@@ -36,6 +36,7 @@ import numpy as np
 from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..baselines.serial import serial_list_scan
 from ..baselines.wyllie import wyllie_list_scan
+from ..kernels.backend import KernelBackend, resolve_backend
 from ..lists.generate import INDEX_DTYPE, LinkedList
 from ..trace.tracer import Tracer, null_span, resolve_trace
 from .operators import Operator, SUM, get_operator
@@ -172,6 +173,7 @@ def sublist_list_scan(
     stats: ScanStats | None = None,
     out: np.ndarray | None = None,
     trace: str | Tracer | None = None,
+    kernel_backend: str | KernelBackend | None = None,
 ) -> np.ndarray:
     """List scan with the paper's sublist algorithm.
 
@@ -189,6 +191,12 @@ def sublist_list_scan(
     and per pack, never per element, so the untraced path pays only a
     handful of branch checks.
 
+    ``kernel_backend`` selects how the hot loops run (``"numpy"`` /
+    ``"python"`` / ``"numba"`` / a :class:`repro.kernels.KernelBackend`
+    instance / ``None`` for env-var-then-auto selection; see
+    ``docs/kernels.md``).  A backend that does not support ``op`` over
+    this value dtype silently falls back to the NumPy reference.
+
     Returns the exclusive (default) or inclusive scan indexed by node.
     """
     op = get_operator(op)
@@ -197,13 +205,16 @@ def sublist_list_scan(
     tracer = resolve_trace(trace)
     n = lst.n
     values = lst.values
+    backend = resolve_backend(kernel_backend)
+    if not backend.supports(op, values):
+        backend = resolve_backend("numpy")
     if out is None:
         out = np.empty_like(values)
     if stats is not None:
         stats.alloc(n)  # the output vector
     _scan_in_place(
         lst.next, values, lst.head, op, cfg, gen, stats, out, depth=0,
-        tracer=tracer,
+        tracer=tracer, backend=backend,
     )
     if inclusive:
         out = op.combine(out, values)
@@ -241,6 +252,7 @@ def _scan_in_place(
     out: np.ndarray,
     depth: int,
     tracer: Tracer | None = None,
+    backend: KernelBackend | None = None,
 ) -> None:
     """Exclusive scan of the list (nxt, values, head) into ``out``.
 
@@ -249,7 +261,11 @@ def _scan_in_place(
     :class:`repro.trace.Tracer` or ``None``) records per-phase spans
     and per-pack live-count events; every hook is guarded so the
     untraced path only pays branch checks, once per pack or phase.
+    ``backend`` runs the hot loops (the NumPy reference when ``None``);
+    the caller must have checked ``backend.supports(op, values)``.
     """
+    if backend is None:
+        backend = resolve_backend("numpy")
     n = nxt.shape[0]
     span = tracer.span if tracer is not None else null_span
     if n <= cfg.serial_cutoff or n < 4 or depth >= cfg.max_depth:
@@ -346,25 +362,20 @@ def _scan_in_place(
                     gap = next(gaps1)
                     total_steps = _guard_steps(total_steps, gap, n)
                     x = vp_next.size
-                    for _ in range(gap):
-                        vp_sum = op.combine(vp_sum, values[vp_next])
-                        vp_next = nxt[vp_next]
+                    vp_next, vp_sum = backend.traverse_phase1(
+                        nxt, values, vp_next, vp_sum, gap, op
+                    )
                     if stats is not None:
                         stats.add_round(gap)
                         stats.add_work(gap * x, phase="phase1")
                         stats.add_gather(2 * gap * x)
-                    done = vp_next == nxt[vp_next]
-                    finished = vp_proc[done]
-                    sl_sum[finished] = vp_sum[done]
-                    sl_tail[finished] = vp_next[done]
-                    keep = ~done
-                    vp_next = vp_next[keep]
-                    vp_sum = vp_sum[keep]
-                    vp_proc = vp_proc[keep]
+                    vp_next, vp_sum, vp_proc, n_finished = backend.pack_phase1(
+                        nxt, vp_next, vp_sum, vp_proc, sl_sum, sl_tail
+                    )
                     if stats is not None:
                         stats.add_pack()
                         stats.add_gather(x)
-                        stats.add_scatter(2 * finished.size + 3 * vp_next.size)
+                        stats.add_scatter(2 * n_finished + 3 * vp_next.size)
                     if tracer is not None:
                         tracer.event(
                             "pack",
@@ -372,7 +383,7 @@ def _scan_in_place(
                             gap=int(gap),
                             live_before=int(x),
                             live_after=int(vp_next.size),
-                            finished=int(finished.size),
+                            finished=int(n_finished),
                         )
 
             # ----------------------------------------------------------
@@ -419,13 +430,26 @@ def _scan_in_place(
             # ----------------------------------------------------------
             with span("phase2", m=m) as phase2_span:
                 carries = np.empty_like(sl_sum)
-                if m > cfg.wyllie_cutoff and depth + 1 < cfg.max_depth:
+                if backend.has_blocked_scan and backend.supports(op, sl_sum):
+                    # Blelloch blocked exclusive scan over the reduced
+                    # chain (snippet-1 shape).  Re-associates: exact for
+                    # integer operators, documented tolerance for
+                    # floats (docs/kernels.md).
+                    if phase2_span is not None:
+                        phase2_span.attrs["method"] = "blocked"
+                    backend.reduced_scan(
+                        sl_next, sl_sum,
+                        np.zeros(1, dtype=INDEX_DTYPE), None, op, carries,
+                    )
+                    if stats is not None:
+                        stats.add_work(m, phase="phase2_blocked")
+                elif m > cfg.wyllie_cutoff and depth + 1 < cfg.max_depth:
                     if phase2_span is not None:
                         phase2_span.attrs["method"] = "recursive"
                     sub_stats = ScanStats() if stats is not None else None
                     _scan_in_place(
                         sl_next, sl_sum, 0, op, cfg, rng, sub_stats,
-                        carries, depth + 1, tracer=tracer,
+                        carries, depth + 1, tracer=tracer, backend=backend,
                     )
                     if stats is not None and sub_stats is not None:
                         stats.merge(sub_stats)
@@ -468,21 +492,17 @@ def _scan_in_place(
                     gap = next(gaps3)
                     total_steps = _guard_steps(total_steps, gap, n)
                     x = vp_next.size
-                    for _ in range(gap):
-                        out[vp_next] = vp_sum
-                        vp_sum = op.combine(vp_sum, values[vp_next])
-                        vp_next = nxt[vp_next]
+                    vp_next, vp_sum = backend.traverse_phase3(
+                        nxt, values, vp_next, vp_sum, gap, op, out
+                    )
                     if stats is not None:
                         stats.add_round(gap)
                         stats.add_work(gap * x, phase="phase3")
                         stats.add_gather(2 * gap * x)
                         stats.add_scatter(gap * x)
-                    done = vp_next == nxt[vp_next]
-                    if np.any(done):
-                        out[vp_next] = vp_sum  # tails get their final scan
-                        keep = ~done
-                        vp_next = vp_next[keep]
-                        vp_sum = vp_sum[keep]
+                    vp_next, vp_sum = backend.pack_phase3(
+                        nxt, vp_next, vp_sum, out
+                    )
                     if stats is not None:
                         stats.add_pack()
                         stats.add_gather(x)

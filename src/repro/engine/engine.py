@@ -78,8 +78,9 @@ from .errors import (
 )
 from .histogram import LatencyHistogram
 from .queue import ScanRequest, ScanResponse, SubmissionQueue
+from ..kernels.backend import resolve_backend
 from .router import CANDIDATES, Router
-from .workers import EXECUTORS, create_backend, offloadable_operator, run_fused_kernel
+from .workers import EXECUTORS, create_backend, run_fused_kernel, shippable_operator
 
 __all__ = ["Engine", "EngineStats"]
 
@@ -265,6 +266,15 @@ class Engine:
     max_workers:
         Worker-pool width for the pooled backends (``None`` → the
         executor's own default, ``os.cpu_count()``-based).
+    kernel_backend:
+        Hot-loop kernel backend for the scan kernels (``"numpy"`` /
+        ``"python"`` / ``"numba"`` / ``None`` for
+        ``REPRO_KERNEL_BACKEND``-then-auto selection; see
+        ``docs/kernels.md``).  Worker processes select the same backend
+        by name (degrading to ``"numpy"`` if their environment lacks
+        it), and the default router is calibrated for it.  Results are
+        bit-identical across backends for integer operators and
+        element-wise equal within documented tolerance for floats.
     size_class_base:
         Geometric growth factor between size classes.
     validate:
@@ -304,6 +314,7 @@ class Engine:
         max_pending_nodes: int | None = None,
         executor: str = "threads",
         max_workers: int | None = None,
+        kernel_backend: str | None = None,
         size_class_base: float = DEFAULT_SIZE_CLASS_BASE,
         validate: str = "fast",
         seed: int | None = 0,
@@ -319,7 +330,13 @@ class Engine:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
-        self.router = router if router is not None else Router()
+        self._kernel_backend = resolve_backend(kernel_backend)
+        self.kernel_backend = self._kernel_backend.name
+        self.router = (
+            router
+            if router is not None
+            else Router(kernel_backend=self._kernel_backend)
+        )
         self.cache = (
             cache
             if cache is not None
@@ -724,6 +741,7 @@ class Engine:
                 rng=self._child_rng(),
                 stats=kstats,
                 trace=tracer,
+                kernel_backend=self.kernel_backend,
             )
         with self._lock:
             self.stats.solo_runs += 1
@@ -838,9 +856,13 @@ class Engine:
         kstats = ScanStats()
         backend = self._backend
         # a kernel leaves this process only when the worker can
-        # rehydrate the operator faithfully from its name; custom
+        # rehydrate the operator faithfully — by builtin name, or as a
+        # pair-formulated opcode tuple (kernels.pairs); other custom
         # operators (and the sync/threads backends) execute inline.
-        offload = backend.offloads_kernels and offloadable_operator(batch.op)
+        ship = (
+            shippable_operator(batch.op) if backend.offloads_kernels else None
+        )
+        offload = ship is not None
         traced = tracer is not None and tracer.enabled
         with span(
             "execute",
@@ -853,16 +875,20 @@ class Engine:
                 # generator; trace spans come back as serialized
                 # records and are adopted under the execute span, so
                 # the batch tree stays connected across processes.
+                op_name, pair, identity = ship
                 seed = int(rng.integers(0, 2**63))
                 out, kstats, worker_spans = backend.run_fused(
                     batch.nxt,
                     batch.values,
                     batch.heads,
-                    batch.op.name,
+                    op_name,
                     batch.inclusive,
                     algorithm,
                     seed,
                     traced,
+                    kernel_backend=self.kernel_backend,
+                    pair=pair,
+                    identity=identity,
                 )
                 if traced and worker_spans:
                     tracer.adopt(
@@ -882,6 +908,7 @@ class Engine:
                     kstats,
                     out,
                     tracer,
+                    kernel_backend=self._kernel_backend,
                 )
         results = batch.unfuse(out)
         with self._lock:

@@ -31,6 +31,7 @@ import math
 
 from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..analysis.predict import predict_run
+from ..kernels.backend import KernelBackend, resolve_backend
 
 __all__ = ["Router", "route_algorithm", "DEFAULT_SERIAL_BELOW", "default_router"]
 
@@ -61,6 +62,15 @@ class Router:
         The fallback crossover used when ``costs`` is ``None``.
     candidates:
         Algorithm names to consider (subset of :data:`CANDIDATES`).
+    kernel_backend:
+        The kernel backend the predictions describe (name, instance, or
+        ``None`` for env-var-then-auto selection — see
+        ``docs/kernels.md``).  The backend's calibration factors are
+        applied to the per-element rank-step and pack coefficients of
+        ``costs`` (Section 3/4's ``a`` and ``c``), so a compiled
+        backend shifts the serial/wyllie/sublist crossovers the way a
+        faster traversal would on real hardware.  The reference
+        backends scale by 1.0, leaving decisions identical.
     """
 
     def __init__(
@@ -68,13 +78,16 @@ class Router:
         costs: KernelCosts | None = PAPER_C90_COSTS,
         serial_below: int = DEFAULT_SERIAL_BELOW,
         candidates: tuple[str, ...] = CANDIDATES,
+        kernel_backend: str | KernelBackend | None = None,
     ) -> None:
         unknown = set(candidates) - set(CANDIDATES)
         if unknown:
             raise ValueError(f"unroutable algorithms: {sorted(unknown)}")
         if not candidates:
             raise ValueError("router needs at least one candidate")
-        self.costs = costs
+        backend = resolve_backend(kernel_backend)
+        self.kernel_backend = backend.name
+        self.costs = backend.scaled_costs(costs) if costs is not None else None
         self.serial_below = serial_below
         self.candidates = tuple(candidates)
         self._choices: dict[tuple[int, int], str] = {}

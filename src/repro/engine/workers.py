@@ -59,6 +59,8 @@ import numpy as np
 from ..core.forest import forest_list_scan, serial_forest_scan, wyllie_forest_scan
 from ..core.operators import BUILTIN_OPERATORS, Operator, get_operator
 from ..core.stats import ScanStats
+from ..kernels.backend import KernelBackend, resolve_backend
+from ..kernels.pairs import PairSpec, operator_from_pair, pair_for
 from ..trace.tracer import Tracer
 
 __all__ = [
@@ -70,6 +72,8 @@ __all__ = [
     "ProcessBackend",
     "create_backend",
     "run_fused_kernel",
+    "offloadable_operator",
+    "shippable_operator",
 ]
 
 #: Accepted values for ``Engine(executor=...)``.
@@ -92,6 +96,7 @@ def run_fused_kernel(
     kstats: ScanStats,
     out: np.ndarray,
     tracer: Tracer | None = None,
+    kernel_backend: str | KernelBackend | None = None,
 ) -> np.ndarray:
     """Execute one fused forest problem with the routed algorithm.
 
@@ -99,7 +104,9 @@ def run_fused_kernel(
     engine calls it inline (``sync``/``threads``, and any shard the
     process driver cannot ship), and :func:`_run_fused_task` calls it
     inside a worker process.  ``out`` is filled in place; the return
-    value is always ``out``.
+    value is always ``out``.  ``kernel_backend`` selects the hot-loop
+    backend for the sublist kernel (``docs/kernels.md``); serial and
+    Wyllie have no pluggable loops.
     """
     if algorithm == "serial":
         serial_forest_scan(nxt, values, heads, op, None, out)
@@ -121,6 +128,7 @@ def run_fused_kernel(
             stats=kstats,
             out=out,
             trace=tracer,
+            kernel_backend=kernel_backend,
         )
         if res is not out:
             # inclusive scans come back as a fresh array (the kernel
@@ -250,10 +258,13 @@ def _pool_mp_context() -> Any:
 class _FusedTask:
     """Everything a worker process needs to run one fused shard.
 
-    Only plain data crosses: the operator travels *by name* (resolved
-    against the builtin table in the worker — the engine ships a shard
-    here only when the name round-trips to the identical operator),
-    randomness as an integer seed, tracing as a bool.
+    Only plain data crosses: the operator travels *by name* plus, for
+    non-builtin pair-formulated operators, its ``PairSpec`` opcode
+    tuple and identity (rehydrated via
+    ``kernels.pairs.operator_from_pair``; ``pair`` is ``None`` for a
+    builtin, which resolves against the builtin table).  The kernel
+    backend travels by name, randomness as an integer seed, tracing as
+    a bool.
     """
 
     nxt: _ArrayRef
@@ -265,6 +276,9 @@ class _FusedTask:
     algorithm: str
     seed: int
     traced: bool
+    kernel_backend: str = "numpy"
+    pair: tuple[int, int, int, int] | None = None
+    identity: Any = None
 
 
 def _run_fused_task(
@@ -285,7 +299,19 @@ def _run_fused_task(
         nxt = _attach_array(task.nxt, holds)
         values = _attach_array(task.values, holds)
         out = _attach_array(task.out, holds)
-        op = get_operator(task.op_name)
+        if task.pair is not None:
+            op = operator_from_pair(
+                task.op_name, PairSpec.from_tuple(task.pair), task.identity
+            )
+        else:
+            op = get_operator(task.op_name)
+        try:
+            kernel_backend = resolve_backend(task.kernel_backend)
+        except ValueError:
+            # e.g. the parent auto-detected numba but this worker's
+            # environment lacks it — degrade to the reference backend
+            # rather than failing the shard
+            kernel_backend = resolve_backend("numpy")
         tracer = Tracer() if task.traced else None
         kstats = ScanStats()
         rng = np.random.default_rng(task.seed)
@@ -300,6 +326,7 @@ def _run_fused_task(
             kstats,
             out,
             tracer,
+            kernel_backend=kernel_backend,
         )
         spans = [span_to_dict(root) for root in tracer.roots] if tracer else []
         payload = out if task.out.shm_name is None else None
@@ -353,6 +380,9 @@ class ExecutionBackend:
         algorithm: str,
         seed: int,
         traced: bool,
+        kernel_backend: str = "numpy",
+        pair: tuple[int, int, int, int] | None = None,
+        identity: Any = None,
     ) -> tuple[np.ndarray, ScanStats, list[dict[str, Any]]]:
         raise NotImplementedError(f"{self.name!r} backend executes kernels inline")
 
@@ -481,6 +511,9 @@ class ProcessBackend(ExecutionBackend):
         algorithm: str,
         seed: int,
         traced: bool,
+        kernel_backend: str = "numpy",
+        pair: tuple[int, int, int, int] | None = None,
+        identity: Any = None,
     ) -> tuple[np.ndarray, ScanStats, list[dict[str, Any]]]:
         """Execute one fused kernel in a worker process.
 
@@ -501,6 +534,9 @@ class ProcessBackend(ExecutionBackend):
                 algorithm=algorithm,
                 seed=int(seed),
                 traced=bool(traced),
+                kernel_backend=kernel_backend,
+                pair=pair,
+                identity=identity,
             )
             with self._lock:
                 self.tasks_offloaded += 1
@@ -537,12 +573,39 @@ class ProcessBackend(ExecutionBackend):
             pool.shutdown(wait=True)
 
 
+def shippable_operator(
+    op: Operator,
+) -> tuple[str, tuple[int, int, int, int] | None, Any] | None:
+    """How (and whether) ``op`` can cross a process boundary.
+
+    Returns ``(name, pair, identity)`` when a worker can rehydrate the
+    operator faithfully, else ``None``:
+
+    * a builtin (the name round-trips to the *identical* object) ships
+      by name alone — ``pair`` is ``None``;
+    * a registered pair-formulated operator (``kernels.pairs``) ships
+      as its opcode tuple plus a plain-data identity, rehydrated via
+      ``operator_from_pair`` — the :func:`~repro.kernels.register_pair`
+      contract guarantees equivalence.
+
+    Anything else (a custom combine with no pair form, a look-alike
+    shadowing a registered name, a non-plain identity) executes inline.
+    """
+    if BUILTIN_OPERATORS.get(op.name) is op:
+        return op.name, None, None
+    spec = pair_for(op)
+    if spec is None:
+        return None
+    identity = op.identity
+    if identity is not None and not isinstance(identity, (int, float, tuple)):
+        return None
+    return op.name, spec.as_tuple(), identity
+
+
 def offloadable_operator(op: Operator) -> bool:
-    """True when ``op`` round-trips through its name to the *identical*
-    builtin operator — the only case a worker process can rehydrate it
-    faithfully.  A custom operator (even one shadowing a builtin name)
-    executes inline instead."""
-    return BUILTIN_OPERATORS.get(op.name) is op
+    """True when ``op`` can execute in a worker process — see
+    :func:`shippable_operator`."""
+    return shippable_operator(op) is not None
 
 
 def create_backend(executor: str, max_workers: int | None = None) -> ExecutionBackend:

@@ -1,0 +1,44 @@
+"""Pluggable compiled-kernel backends for the hot scan loops.
+
+See ``kernels.backend`` for the backend matrix and selection
+precedence, ``kernels.pairs`` for the ``(companion, cross, plus)``
+operator-pair formulation, and ``kernels.loops`` for the loop kernels
+themselves.  Documentation: ``docs/kernels.md``.
+"""
+
+from .backend import (
+    ENV_VAR,
+    KernelBackend,
+    NumbaBackend,
+    NumpyBackend,
+    PythonLoopBackend,
+    available_backends,
+    default_backend_name,
+    resolve_backend,
+)
+from .loops import BLOCK, HAVE_NUMBA
+from .pairs import (
+    OPCODE_UFUNCS,
+    PairSpec,
+    operator_from_pair,
+    pair_for,
+    register_pair,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "PythonLoopBackend",
+    "available_backends",
+    "default_backend_name",
+    "resolve_backend",
+    "BLOCK",
+    "HAVE_NUMBA",
+    "OPCODE_UFUNCS",
+    "PairSpec",
+    "operator_from_pair",
+    "pair_for",
+    "register_pair",
+]

@@ -267,7 +267,14 @@ class ExplicitDtypeRule(Rule):
         "successor indices above 2**31"
     )
     hint = "pass dtype= explicitly (INDEX_DTYPE for successor arrays)"
-    paths = ("*/core/*.py", "*/engine/workers.py")
+    paths = (
+        "*/core/*.py",
+        "*/engine/workers.py",
+        "*/apps/*.py",
+        "*/analysis/*.py",
+        "*/kernels/*.py",
+        "*/bench/*.py",
+    )
 
     #: constructor name -> number of positional args after which the
     #: dtype has been given positionally

@@ -1,0 +1,13 @@
+"""Bad fixture: index array allocated without an explicit dtype in an
+application module — the tree the ``explicit-dtype`` rule newly covers.
+
+Expected finding: ``explicit-dtype`` (index arrays feed gather/scatter
+kernels and must pin ``dtype=INDEX_DTYPE`` so indices stay 64-bit on
+every platform).
+"""
+
+import numpy as np
+
+
+def node_order(n):
+    return np.arange(n)

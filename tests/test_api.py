@@ -152,6 +152,42 @@ class TestListRank:
         got = list_rank(lst, rng=rng)
         assert sorted(got) == list(range(400))
 
+    def test_engine_named_param(self):
+        from repro.engine import Engine
+
+        lst = random_list(300, 0)
+        got = list_rank(lst, engine=Engine())
+        assert np.array_equal(got, serial_list_rank(lst))
+
+    def test_trace_named_param(self):
+        from repro.trace.tracer import Tracer, counting_clock
+
+        tracer = Tracer(clock=counting_clock())
+        lst = random_list(3000, 0)
+        got = list_rank(lst, algorithm="sublist", rng=0, trace=tracer)
+        assert np.array_equal(got, serial_list_rank(lst))
+        assert tracer.roots  # the scan actually recorded under it
+
+    def test_engine_with_rng_raises(self, rng):
+        # same contract as list_scan: engine mode owns rng/stats
+        from repro.engine import Engine
+
+        lst = random_list(50, 0)
+        with pytest.raises(TypeError, match="rng"):
+            list_rank(lst, engine=Engine(), rng=rng)
+
+    def test_engine_with_stats_raises(self):
+        from repro.engine import Engine
+
+        lst = random_list(50, 0)
+        with pytest.raises(TypeError, match="stats"):
+            list_rank(lst, engine=Engine(), stats=ScanStats())
+
+    def test_kernel_backend_named_param(self):
+        lst = random_list(3000, 0)
+        got = list_rank(lst, algorithm="sublist", rng=0, kernel_backend="python")
+        assert np.array_equal(got, serial_list_rank(lst))
+
 
 class TestPackageSurface:
     def test_all_exports_resolve(self):

@@ -30,6 +30,37 @@ class TestRecurrenceList:
         # node order[k] holds the k-th coefficients
         assert np.allclose(lst.values[order[5], 0], a[5])
 
+    def test_order_cast_to_index_dtype(self, rng):
+        from repro.lists.generate import INDEX_DTYPE
+
+        order = rng.permutation(16).astype(np.int32)
+        lst = recurrence_list(rng.random(16), rng.random(16), order=order)
+        assert lst.next.dtype == INDEX_DTYPE
+
+    def test_rejects_duplicate_order(self, rng):
+        order = np.array([0, 1, 1, 3])
+        with pytest.raises(ValueError, match="permutation"):
+            recurrence_list(rng.random(4), rng.random(4), order=order)
+
+    def test_rejects_out_of_range_order(self, rng):
+        order = np.array([0, 1, 2, 7])
+        with pytest.raises(ValueError, match="out of range"):
+            recurrence_list(rng.random(4), rng.random(4), order=order)
+
+    def test_rejects_negative_order(self, rng):
+        order = np.array([0, 1, 2, -1])
+        with pytest.raises(ValueError, match="out of range"):
+            recurrence_list(rng.random(4), rng.random(4), order=order)
+
+    def test_rejects_wrong_length_order(self, rng):
+        with pytest.raises(ValueError, match="permutation"):
+            recurrence_list(rng.random(4), rng.random(4), order=np.arange(3))
+
+    def test_rejects_float_order(self, rng):
+        order = np.arange(4, dtype=np.float64)
+        with pytest.raises(ValueError, match="integer"):
+            recurrence_list(rng.random(4), rng.random(4), order=order)
+
 
 class TestSolve:
     @pytest.mark.parametrize("n", [1, 2, 10, 1000, 20_000])
