@@ -19,7 +19,9 @@ __all__ = [
     "ExperimentRecord",
     "record",
     "record_speedup",
+    "record_fit_sample",
     "all_records",
+    "all_fit_samples",
     "clear_records",
     "records_as_dicts",
     "write_records_json",
@@ -29,6 +31,7 @@ __all__ = [
 ]
 
 _REGISTRY: list["ExperimentRecord"] = []
+_FIT_SAMPLES: list[dict[str, Any]] = []
 
 
 @dataclass
@@ -113,13 +116,50 @@ def record_speedup(
     )
 
 
+def record_fit_sample(
+    kind: str,
+    x: int,
+    seconds: float,
+    n_lists: int = 1,
+    source: str = "bench",
+    **meta: Any,
+) -> dict[str, Any]:
+    """Register one calibration fit sample alongside the records.
+
+    Benchmarks that time a forced-algorithm run call this with the raw
+    observation (``kind`` ∈ serial/wyllie/sublist, ``x`` total nodes,
+    wall ``seconds``); the JSON export lands them under ``fit_samples``
+    so ``repro-c90 calibrate fit --from-bench`` can refit the cost
+    model from the same artifact CI already uploads.  Stored as a plain
+    dict matching ``repro.calibrate.records.FitSample.as_dict`` — the
+    harness stays importable without the calibration package.
+    """
+    sample: dict[str, Any] = {
+        "kind": kind,
+        "x": int(x),
+        "seconds": float(seconds),
+        "n_lists": int(n_lists),
+        "source": source,
+    }
+    if meta:
+        sample["meta"] = dict(meta)
+    _FIT_SAMPLES.append(sample)
+    return sample
+
+
 def all_records() -> list[ExperimentRecord]:
     """All records accumulated so far (in registration order)."""
     return list(_REGISTRY)
 
 
+def all_fit_samples() -> list[dict[str, Any]]:
+    """All fit samples recorded so far (in registration order)."""
+    return list(_FIT_SAMPLES)
+
+
 def clear_records() -> None:
     _REGISTRY.clear()
+    _FIT_SAMPLES.clear()
 
 
 def records_as_dicts() -> list[dict[str, Any]]:
@@ -144,11 +184,14 @@ def records_as_dicts() -> list[dict[str, Any]]:
 
 
 def write_records_json(path: str) -> int:
-    """Write every record to ``path`` as a JSON array; returns the
+    """Write every record (and fit sample) to ``path``; returns the
     record count.  This is the CI bench-smoke artifact."""
     records = records_as_dicts()
+    payload: dict[str, Any] = {"records": records}
+    if _FIT_SAMPLES:
+        payload["fit_samples"] = list(_FIT_SAMPLES)
     with open(path, "w") as fp:
-        json.dump({"records": records}, fp, indent=2)
+        json.dump(payload, fp, indent=2)
     return len(records)
 
 

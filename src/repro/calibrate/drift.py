@@ -1,0 +1,203 @@
+"""Drift detection: is the active calibration still telling the truth?
+
+The paper validates its model by comparing predicted and measured
+runtimes (Section 4.4) — we run that comparison continuously.  Every
+engine execution reports ``(kind, x, seconds)`` plus the router's
+prediction for that run; every traced sublist run additionally reports
+the observed Eq. 2 decay ratio.  The detector keeps a bounded rolling
+window of observations and flags a run when
+
+* ``observed / predicted`` falls outside the configured ratio band
+  (``1/tolerance .. tolerance``), or
+* the observed decay ratio strays more than ``decay_tolerance`` from
+  the model's ``e^(−m·s/n)`` expectation (the same band
+  ``trace.compare.deviation_ok`` uses).
+
+``auto_refit_after = K`` turns the alarm into a actuator: after K
+*consecutive* out-of-tolerance runs, :meth:`DriftDetector.observe_run`
+returns ``refit=True`` and the engine refits a fresh profile from the
+window's samples (see ``Engine.recalibrate``).  The detector never
+reads a clock and never calls back into the engine — it is a pure
+bookkeeper behind its own lock, so the engine can consult it from any
+worker thread without ordering constraints.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from .records import FitSample
+
+__all__ = ["DriftConfig", "DriftDetector", "DriftVerdict"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tolerances and windowing for the drift detector.
+
+    ``tolerance`` is a multiplicative band: a run drifts when observed
+    wall time is more than ``tolerance``× the prediction or less than
+    ``1/tolerance``× it.  The default is deliberately loose — host
+    timing noise on small runs is large, and a false alert that
+    triggers an auto-refit from noisy samples is worse than a missed
+    one.  ``decay_tolerance`` mirrors ``trace.compare.deviation_ok``.
+    ``min_seconds`` ignores runs too short to time meaningfully.
+    ``auto_refit_after = 0`` disables auto-refit (alerts only).
+    """
+
+    tolerance: float = 3.0
+    decay_tolerance: float = 0.35
+    window: int = 64
+    auto_refit_after: int = 0
+    min_seconds: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not self.tolerance > 1.0:
+            raise ValueError(f"tolerance must be > 1, got {self.tolerance!r}")
+        if not 0.0 < self.decay_tolerance < 1.0:
+            raise ValueError(
+                f"decay_tolerance must be in (0, 1), got {self.decay_tolerance!r}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.auto_refit_after < 0:
+            raise ValueError(
+                f"auto_refit_after must be >= 0, got {self.auto_refit_after}"
+            )
+        if self.min_seconds < 0.0:
+            raise ValueError(f"min_seconds must be >= 0, got {self.min_seconds!r}")
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of one observation.
+
+    ``alert`` — this run was out of tolerance; ``refit`` — the
+    consecutive-alert threshold was crossed and the caller should
+    recalibrate from :meth:`DriftDetector.samples`.  ``ratio`` is
+    observed/predicted (``None`` when the run was skipped as too short
+    or unpredicted).
+    """
+
+    alert: bool = False
+    refit: bool = False
+    ratio: float | None = None
+
+
+@dataclass
+class _DriftState:
+    observations: int = 0
+    alerts: int = 0
+    decay_alerts: int = 0
+    consecutive: int = 0
+    refits_signalled: int = 0
+    window: deque[FitSample] = field(default_factory=deque)
+
+
+class DriftDetector:
+    """Thread-safe rolling comparison of observed vs predicted runtimes."""
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self._lock = threading.Lock()
+        self._state = _DriftState(
+            window=deque(maxlen=self.config.window)
+        )
+
+    def observe_run(
+        self,
+        kind: str,
+        x: int,
+        seconds: float,
+        predicted_ns: float | None,
+        n_lists: int = 1,
+    ) -> DriftVerdict:
+        """Record one executed run and judge it against the prediction.
+
+        ``predicted_ns`` is the router's cost-model prediction for this
+        run in nanoseconds (``predicted_clocks × clock_ns``); pass
+        ``None`` when no prediction applies (the run still lands in the
+        refit window).
+        """
+        cfg = self.config
+        if seconds < cfg.min_seconds or x < 1:
+            return DriftVerdict()
+        try:
+            sample = FitSample(
+                kind=kind, x=x, seconds=seconds, n_lists=n_lists, source="drift"
+            )
+        except ValueError:
+            return DriftVerdict()
+        ratio: float | None = None
+        if predicted_ns is not None and predicted_ns > 0.0:
+            ratio = (seconds * 1e9) / predicted_ns
+        with self._lock:
+            state = self._state
+            state.observations += 1
+            state.window.append(sample)
+            if ratio is None:
+                return DriftVerdict(ratio=None)
+            drifted = ratio > cfg.tolerance or ratio < 1.0 / cfg.tolerance
+            return self._judge_locked(drifted, ratio)
+
+    def observe_decay(self, observed: float, expected: float) -> DriftVerdict:
+        """Judge one traced Eq. 2 decay ratio against the model's.
+
+        Both values are end-of-phase-1 ``live/m`` fractions (what
+        ``trace.compare`` reports as ``decay_ratio`` vs
+        ``e^(−m·s₁/n)``); drift is an absolute gap beyond
+        ``decay_tolerance``.  Decay alerts count toward the same
+        consecutive-run refit trigger as duration alerts.
+        """
+        cfg = self.config
+        with self._lock:
+            state = self._state
+            state.observations += 1
+            drifted = abs(observed - expected) > cfg.decay_tolerance
+            if drifted:
+                state.decay_alerts += 1
+            return self._judge_locked(drifted, None)
+
+    def _judge_locked(self, drifted: bool, ratio: float | None) -> DriftVerdict:
+        state = self._state
+        if not drifted:
+            state.consecutive = 0
+            return DriftVerdict(ratio=ratio)
+        state.alerts += 1
+        state.consecutive += 1
+        refit = (
+            self.config.auto_refit_after > 0
+            and state.consecutive >= self.config.auto_refit_after
+        )
+        if refit:
+            state.refits_signalled += 1
+            state.consecutive = 0
+        return DriftVerdict(alert=True, refit=refit, ratio=ratio)
+
+    def samples(self) -> list[FitSample]:
+        """The current refit window, oldest first."""
+        with self._lock:
+            return list(self._state.window)
+
+    def reset(self) -> None:
+        """Drop the window and the consecutive-alert streak.
+
+        Called after a recalibration: old observations were judged (and
+        measured) against the previous profile.
+        """
+        with self._lock:
+            self._state = _DriftState(window=deque(maxlen=self.config.window))
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            state = self._state
+            return {
+                "observations": state.observations,
+                "alerts": state.alerts,
+                "decay_alerts": state.decay_alerts,
+                "consecutive": state.consecutive,
+                "refits_signalled": state.refits_signalled,
+                "window": len(state.window),
+            }

@@ -1,0 +1,208 @@
+"""Fit-ready calibration records and their extraction from artifacts.
+
+A :class:`FitSample` is one observation the fitter can consume: *this
+kind of run, over x elements, took this many wall seconds*.  Three
+producers exist:
+
+* the bench harness — benchmarks call
+  ``bench.harness.record_fit_sample`` while timing forced-algorithm
+  runs, and ``write_records_json`` lands them in the CI artifact under
+  ``"fit_samples"`` (:func:`samples_from_bench_payload` reads them
+  back, plus any ``DeviationReport`` trace attachments);
+* the tracer — a ``repro-c90 trace --json`` payload carries the run's
+  wall seconds and its deviation report
+  (:func:`samples_from_trace_payload`);
+* live measurement — :mod:`repro.calibrate.live` times the kernels
+  directly.
+
+:func:`load_samples` sniffs which artifact layout a JSON file uses, so
+``repro-c90 calibrate fit`` accepts any of them interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .profile import FIT_KINDS, ProfileError
+
+__all__ = [
+    "FitSample",
+    "load_samples",
+    "samples_from_bench_payload",
+    "samples_from_trace_payload",
+]
+
+
+@dataclass(frozen=True)
+class FitSample:
+    """One timing observation: ``kind`` over ``x`` elements in ``seconds``.
+
+    ``x`` is the linear model's abscissa — total nodes for all three
+    kinds.  ``n_lists`` matters for ``wyllie`` (pointer jumping over a
+    forest of ``n_lists`` chains converges in ``log2(x / n_lists)``
+    rounds); it defaults to 1 (one chain).
+    """
+
+    kind: str
+    x: int
+    seconds: float
+    n_lists: int = 1
+    source: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FIT_KINDS:
+            raise ValueError(
+                f"unknown sample kind {self.kind!r}; expected one of {FIT_KINDS}"
+            )
+        if self.x < 1:
+            raise ValueError(f"sample size must be >= 1, got {self.x}")
+        if self.n_lists < 1:
+            raise ValueError(f"n_lists must be >= 1, got {self.n_lists}")
+        if not self.seconds > 0.0:
+            raise ValueError(f"observed seconds must be > 0, got {self.seconds!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "x": self.x,
+            "seconds": self.seconds,
+            "n_lists": self.n_lists,
+        }
+        if self.source:
+            out["source"] = self.source
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FitSample":
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                x=int(data["x"]),
+                seconds=float(data["seconds"]),
+                n_lists=int(data.get("n_lists", 1)),
+                source=str(data.get("source", "")),
+                meta=dict(data.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed fit sample {data!r}: {exc}") from None
+
+
+def _sample_from_compare(
+    compare: dict[str, Any], seconds: float | None, source: str
+) -> FitSample | None:
+    """One ``sublist`` sample from a ``DeviationReport.as_dict()``.
+
+    Prefers the report's own ``observed_seconds`` (the scan span's
+    duration); falls back to the phase-duration sum, then to the
+    caller-supplied wall time.
+    """
+    try:
+        n = int(compare["n"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    observed = compare.get("observed_seconds")
+    if not observed:
+        durations = compare.get("phase_durations") or {}
+        observed = sum(
+            float(v) for k, v in durations.items() if k.startswith("phase")
+        ) or None
+    if not observed:
+        observed = seconds
+    if not observed or observed <= 0 or n < 1:
+        return None
+    return FitSample(
+        kind="sublist",
+        x=n,
+        seconds=float(observed),
+        source=source,
+        meta={
+            "m": compare.get("m"),
+            "decay_ratio": (compare.get("trajectory") or {}).get("decay_ratio"),
+        },
+    )
+
+
+def samples_from_trace_payload(payload: dict[str, Any]) -> list[FitSample]:
+    """Samples from one ``repro-c90 trace --json`` payload.
+
+    The payload's top-level ``seconds``/``n``/``algorithm`` give one
+    sample for whatever algorithm ran (when it is a fittable kind);
+    the embedded deviation report refines the ``sublist`` sample with
+    the scan span's own duration (excluding list generation and
+    engine admission overhead).
+    """
+    samples: list[FitSample] = []
+    algorithm = payload.get("algorithm")
+    compare = payload.get("compare")
+    if isinstance(compare, dict):
+        sample = _sample_from_compare(
+            compare, payload.get("seconds"), source="trace"
+        )
+        if sample is not None:
+            samples.append(sample)
+    if algorithm in FIT_KINDS and not samples:
+        try:
+            samples.append(
+                FitSample(
+                    kind=str(algorithm),
+                    x=int(payload["n"]),
+                    seconds=float(payload["seconds"]),
+                    source="trace",
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            pass
+    return samples
+
+
+def samples_from_bench_payload(payload: dict[str, Any]) -> list[FitSample]:
+    """Samples from one bench artifact (``write_records_json`` output).
+
+    Reads the explicit ``fit_samples`` array benchmarks emit via
+    ``record_fit_sample``, plus a ``sublist`` sample from every record
+    whose ``trace`` attachment is a deviation report.
+    """
+    samples: list[FitSample] = []
+    for doc in payload.get("fit_samples", []) or []:
+        if isinstance(doc, dict):
+            samples.append(FitSample.from_dict(doc))
+    for rec in payload.get("records", []) or []:
+        trace = rec.get("trace") if isinstance(rec, dict) else None
+        if isinstance(trace, dict):
+            sample = _sample_from_compare(trace, None, source="bench")
+            if sample is not None:
+                samples.append(sample)
+    return samples
+
+
+def load_samples(path: str) -> list[FitSample]:
+    """Sniff one JSON artifact and extract every fit sample in it.
+
+    Accepts a bench artifact (object with ``records``/``fit_samples``),
+    a trace payload (object with ``trace``/``compare``), or a bare
+    array of serialized samples.  Raises :class:`ProfileError` when the
+    file is unreadable or matches no known layout.
+    """
+    try:
+        with open(path) as fp:
+            payload = json.load(fp)
+    except OSError as exc:
+        raise ProfileError(f"{path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"{path}: not valid JSON: {exc}") from None
+    if isinstance(payload, list):
+        return [FitSample.from_dict(doc) for doc in payload]
+    if isinstance(payload, dict):
+        if "records" in payload or "fit_samples" in payload:
+            return samples_from_bench_payload(payload)
+        if "trace" in payload or "compare" in payload:
+            return samples_from_trace_payload(payload)
+    raise ProfileError(
+        f"{path}: unrecognized artifact layout (expected a bench record "
+        "file, a trace payload, or an array of samples)"
+    )

@@ -22,6 +22,13 @@ Subcommands
               submission queue under an SLO-aware adaptive batch window
 ``bench-client``  drive a running server with concurrent clients and
               report the latency histogram (the CI smoke artifact)
+``calibrate`` fit/show/check host calibration profiles: refit the
+              paper's cost-model coefficients from bench artifacts,
+              trace payloads, or live measurement (``repro.calibrate``;
+              the profile hot-swaps into engines via ``--calibration``)
+``perf-gate`` compare a bench JSON artifact's speedup records against
+              the committed baseline with a warn/fail tolerance band
+              (the CI perf-regression gate)
 """
 
 from __future__ import annotations
@@ -135,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--poison", type=int, default=0, metavar="K",
         help="corrupt K of the generated lists (out-of-range successor) "
              "to exercise the per-request error channel",
+    )
+    p_batch.add_argument(
+        "--calibration", metavar="PROFILE", default=None,
+        help="route on a fitted calibration profile (JSON from "
+             "`repro-c90 calibrate fit`) instead of the paper's C-90 "
+             "table; also arms the drift detector",
     )
 
     p_sim = sub.add_parser("simulate", help="run on the simulated machine")
@@ -277,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-interval", type=float, default=0.0,
         help="seconds between stats-snapshot lines on stderr (0 = off)",
     )
+    p_serve.add_argument(
+        "--calibration", metavar="PROFILE", default=None,
+        help="route on a fitted calibration profile (JSON from "
+             "`repro-c90 calibrate fit`); drift counters appear in "
+             "the /stats snapshot",
+    )
 
     p_bc = sub.add_parser(
         "bench-client",
@@ -324,6 +343,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None, dest="json_out",
         help="write the full JSON report (latency histogram included) "
              "to PATH — the CI smoke job's artifact",
+    )
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit/show/check host calibration profiles for cost-model "
+             "routing",
+    )
+    cal_sub = p_cal.add_subparsers(dest="calibrate_cmd", required=True)
+
+    p_cal_fit = cal_sub.add_parser(
+        "fit", help="fit a profile from bench/trace artifacts or live timing"
+    )
+    p_cal_fit.add_argument(
+        "--from-bench", action="append", default=[], metavar="PATH",
+        help="bench JSON artifact (write_records_json output; repeatable)",
+    )
+    p_cal_fit.add_argument(
+        "--from-trace", action="append", default=[], metavar="PATH",
+        help="`repro-c90 trace --json` payload (repeatable)",
+    )
+    p_cal_fit.add_argument(
+        "--live", action="store_true",
+        help="measure fit samples directly on this machine (a few seconds)",
+    )
+    p_cal_fit.add_argument(
+        "--out", "-o", default="calibration.json", metavar="PATH",
+        help="where to write the fitted profile",
+    )
+    p_cal_fit.add_argument(
+        "--no-tune", action="store_true",
+        help="skip the m(n)/S1(n) tuning-polynomial refit (faster)",
+    )
+    p_cal_fit.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per live-measurement cell (min is kept)",
+    )
+    p_cal_fit.add_argument("--seed", type=int, default=0)
+
+    p_cal_show = cal_sub.add_parser(
+        "show", help="print a profile's coefficients and fit metadata"
+    )
+    p_cal_show.add_argument("profile", help="profile JSON path")
+    p_cal_show.add_argument(
+        "--json", action="store_true", help="emit the raw profile JSON"
+    )
+
+    p_cal_check = cal_sub.add_parser(
+        "check",
+        help="validate a profile (schema, finite/positive coefficients); "
+             "exit 1 on an absurd or malformed profile",
+    )
+    p_cal_check.add_argument("profile", help="profile JSON path")
+
+    p_gate = sub.add_parser(
+        "perf-gate",
+        help="compare bench speedup records against the committed "
+             "baseline (warn/fail tolerance band)",
+    )
+    p_gate.add_argument(
+        "--baseline", default="benchmarks/baselines/speedups-smoke.json",
+        metavar="PATH", help="committed baseline JSON",
+    )
+    p_gate.add_argument(
+        "--report", required=True, metavar="PATH",
+        help="bench JSON artifact from this run (write_records_json output)",
+    )
+    p_gate.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the comparison report (the CI artifact) to PATH",
+    )
+    p_gate.add_argument(
+        "--warn-ratio", type=float, default=None,
+        help="warn when a ratio regresses beyond this factor (default 1.5)",
+    )
+    p_gate.add_argument(
+        "--fail-ratio", type=float, default=None,
+        help="fail when a ratio regresses beyond this factor (default 2.0)",
+    )
+    p_gate.add_argument(
+        "--warn-only", action="store_true",
+        help="advisory mode: report regressions but always exit 0 "
+             "(used when sweep sizes differ from the baseline's)",
+    )
+    p_gate.add_argument(
+        "--update-baseline", action="store_true",
+        help="instead of gating, rewrite --baseline from --report's "
+             "records (run locally to refresh the committed file)",
     )
 
     p_fig = sub.add_parser("figures", help="dump figure CSV series")
@@ -411,11 +517,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     }
     t_seq = time.perf_counter() - t0
 
+    try:
+        calibration = _load_calibration(args.calibration)
+    except ValueError as exc:
+        print(f"batch: --calibration: {exc}", file=sys.stderr)
+        return 2
     engine = Engine(
         cache_capacity=0 if args.no_cache else max(256, 2 * args.count),
         executor=args.executor,
         max_workers=args.workers,
         kernel_backend=args.kernel_backend,
+        calibration=calibration,
     )
     with engine:
         t0 = time.perf_counter()
@@ -489,7 +601,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # the same serializer the serving front-end's /stats endpoint
         # returns (EngineStats.snapshot)
         print()
-        print(json.dumps(engine.stats.snapshot(), indent=2))
+        snap = engine.stats.snapshot()
+        if args.calibration:
+            snap["calibration"] = engine.calibration_snapshot()
+        print(json.dumps(snap, indent=2))
     if mismatches:
         print(f"ERROR: {mismatches} result(s) differ from sequential list_scan",
               file=sys.stderr)
@@ -668,11 +783,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
+    try:
+        calibration = _load_calibration(args.calibration)
+    except ValueError as exc:
+        print(f"serve: --calibration: {exc}", file=sys.stderr)
+        return 2
     engine = Engine(
         max_pending=args.max_pending,
         executor=args.executor,
         max_workers=args.workers,
         kernel_backend=args.kernel_backend,
+        calibration=calibration,
     )
 
     async def _main() -> None:
@@ -773,6 +894,166 @@ def _cmd_bench_client(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _load_calibration(path: str | None):
+    """Load a profile for ``--calibration``; raises ``ValueError`` on a
+    bad file (``None`` passes through)."""
+    if path is None:
+        return None
+    from .calibrate import load_profile
+
+    return load_profile(path)
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.harness import format_table
+    from .calibrate import (
+        FitError,
+        ProfileError,
+        fit_profile,
+        load_profile,
+        load_samples,
+        measure_samples,
+    )
+
+    if args.calibrate_cmd == "fit":
+        if not (args.from_bench or args.from_trace or args.live):
+            print(
+                "calibrate fit: need at least one sample source "
+                "(--from-bench, --from-trace, or --live)",
+                file=sys.stderr,
+            )
+            return 2
+        samples = []
+        sources = []
+        try:
+            for path in [*args.from_bench, *args.from_trace]:
+                found = load_samples(path)
+                if not found:
+                    print(f"calibrate fit: {path}: no fit samples found",
+                          file=sys.stderr)
+                    return 2
+                samples.extend(found)
+                sources.append(path)
+        except ProfileError as exc:
+            print(f"calibrate fit: {exc}", file=sys.stderr)
+            return 2
+        if args.live:
+            print("measuring live fit samples …", file=sys.stderr)
+            samples.extend(measure_samples(repeats=args.repeats, seed=args.seed))
+            sources.append("live")
+        try:
+            profile = fit_profile(
+                samples,
+                source=",".join(sources),
+                created_at=time.time(),
+                tune=not args.no_tune,
+            )
+        except FitError as exc:
+            print(f"calibrate fit: {exc}", file=sys.stderr)
+            return 1
+        profile.save(args.out)
+        print(format_table(["field", "value"], profile.summary_rows(),
+                           title="fitted calibration profile"))
+        print(f"\nwrote {args.out} ({len(samples)} sample(s))")
+        return 0
+
+    if args.calibrate_cmd == "show":
+        try:
+            profile = load_profile(args.profile)
+        except ProfileError as exc:
+            print(f"calibrate show: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(json.loads(profile.to_json()), indent=2))
+        else:
+            print(format_table(["field", "value"], profile.summary_rows(),
+                               title=args.profile))
+        return 0
+
+    # check: schema + coefficient sanity; the CI calibration-smoke gate
+    try:
+        profile = load_profile(args.profile)
+    except ProfileError as exc:
+        print(f"calibrate check: FAIL: {exc}", file=sys.stderr)
+        return 1
+    from .engine.router import Router
+
+    fitted = Router(costs=profile.costs)
+    print(f"calibrate check: OK: {args.profile}")
+    print(f"  schema v{profile.schema_version}, source={profile.source}, "
+          f"kinds={','.join(profile.fitted_kinds)}")
+    print(f"  serial crossover {fitted.crossover():,} nodes "
+          f"(static C-90 table: {Router().crossover():,})")
+    return 0
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.harness import format_table
+    from .bench.regression import (
+        FAIL_RATIO,
+        GateError,
+        WARN_RATIO,
+        baseline_from_records,
+        compare_records,
+        gate_rows,
+        load_baseline,
+        load_bench_records,
+        results_as_dict,
+    )
+
+    warn_ratio = args.warn_ratio if args.warn_ratio is not None else WARN_RATIO
+    fail_ratio = args.fail_ratio if args.fail_ratio is not None else FAIL_RATIO
+    try:
+        records = load_bench_records(args.report)
+        if args.update_baseline:
+            doc = baseline_from_records(
+                records, created_at=time.time(),
+                note=f"refreshed from {args.report}",
+            )
+            with open(args.baseline, "w") as fp:
+                json.dump(doc, fp, indent=2)
+                fp.write("\n")
+            print(f"perf-gate: wrote {len(doc['records'])} baseline "
+                  f"ratio(s) to {args.baseline}")
+            return 0
+        baseline = load_baseline(args.baseline)
+        results = compare_records(
+            records, baseline, warn_ratio=warn_ratio, fail_ratio=fail_ratio
+        )
+    except (GateError, ValueError) as exc:
+        print(f"perf-gate: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_table(
+        ["benchmark", "baseline", "measured", "regression", "status"],
+        gate_rows(results),
+        title=f"perf gate: warn >{warn_ratio}x, fail >{fail_ratio}x "
+              f"(ratios are speedups; regression = baseline/measured)",
+    ))
+    report = results_as_dict(results, warn_ratio, fail_ratio)
+    if args.json_out:
+        with open(args.json_out, "w") as fp:
+            json.dump(report, fp, indent=2)
+        print(f"\nwrote comparison report to {args.json_out}")
+    counts = report["counts"]
+    gating = counts["fail"] + counts["missing"]
+    if gating and not args.warn_only:
+        print(f"perf-gate: FAIL: {counts['fail']} regression(s) beyond "
+              f"{fail_ratio}x, {counts['missing']} missing benchmark(s)",
+              file=sys.stderr)
+        return 1
+    if counts["warn"] or (gating and args.warn_only):
+        print(f"perf-gate: WARN: {counts['warn']} regression(s) beyond "
+              f"{warn_ratio}x"
+              + (f", {gating} beyond the hard gate (advisory mode)"
+                 if gating else ""))
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     names = [args.only] if args.only else sorted(ALL_FIGURES)
     for name in names:
@@ -792,6 +1073,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "serve": _cmd_serve,
     "bench-client": _cmd_bench_client,
+    "calibrate": _cmd_calibrate,
+    "perf-gate": _cmd_perf_gate,
     "figures": _cmd_figures,
 }
 

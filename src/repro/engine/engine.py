@@ -58,7 +58,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
-from typing import Any
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..calibrate import CalibrationProfile, DriftConfig, DriftDetector
 
 import numpy as np
 
@@ -109,6 +112,15 @@ class EngineStats:
     ``coalesced``
         duplicate requests in a batch served by another identical
         request's execution (the work ran exactly once).
+    ``drift_alerts``
+        executed runs whose observed duration (or traced decay ratio)
+        fell outside the active calibration profile's tolerance band
+        (see ``repro.calibrate.drift``; zero while routing on the
+        static paper table, which drift checking does not apply to).
+    ``recalibrations``
+        calibration profiles hot-swapped into the router after
+        construction (``Engine.recalibrate`` — manual or drift-driven
+        auto-refit).
 
     Kernel counters
     ---------------
@@ -153,6 +165,8 @@ class EngineStats:
     retries: int = 0
     quarantined: int = 0
     coalesced: int = 0
+    drift_alerts: int = 0
+    recalibrations: int = 0
     element_ops: int = 0
     kernel_rounds: int = 0
     kernel_packs: int = 0
@@ -181,6 +195,8 @@ class EngineStats:
         "retries",
         "quarantined",
         "coalesced",
+        "drift_alerts",
+        "recalibrations",
         "element_ops",
         "kernel_rounds",
         "kernel_packs",
@@ -302,6 +318,17 @@ class Engine:
         routing decision (including the cost model's predicted clocks
         per candidate), the fused kernel's own phase spans, and
         ``quarantine_retry``/``solo`` spans.  See ``docs/tracing.md``.
+    calibration:
+        Optional fitted :class:`repro.calibrate.CalibrationProfile` to
+        install at construction (equivalent to calling
+        :meth:`recalibrate` immediately, but not counted in the
+        ``recalibrations`` stat).  ``None`` routes on the router's own
+        table (the paper's C-90 calibration by default).
+    drift:
+        Optional :class:`repro.calibrate.DriftConfig` for the drift
+        detector that activates whenever a calibration profile is
+        installed; ``None`` uses the default tolerances.  See
+        ``docs/calibration.md``.
     """
 
     def __init__(
@@ -320,6 +347,8 @@ class Engine:
         seed: int | None = 0,
         trace: str | Tracer | None = None,
         clock: Callable[[], float] | None = None,
+        calibration: "CalibrationProfile | None" = None,
+        drift: "DriftConfig | None" = None,
     ) -> None:
         if validate not in VALIDATION_MODES:
             raise ValueError(
@@ -355,6 +384,11 @@ class Engine:
         self.stats = EngineStats()
         self._seeds = np.random.SeedSequence(seed)
         self._lock = threading.Lock()
+        self._drift_config = drift
+        self._calibration: "CalibrationProfile | None" = None
+        self._drift: "DriftDetector | None" = None
+        if calibration is not None:
+            self.recalibrate(calibration, _count=False)
 
     # ------------------------------------------------------------------
     # submission API
@@ -435,6 +469,123 @@ class Engine:
     def __exit__(self, *exc: object) -> bool:
         self.close()
         return False
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+
+    @property
+    def calibration(self) -> "CalibrationProfile | None":
+        """The active fitted profile (``None`` → static router table)."""
+        return self._calibration
+
+    def recalibrate(
+        self, profile: "CalibrationProfile", _count: bool = True
+    ) -> None:
+        """Hot-swap a fitted calibration profile into the router.
+
+        Validates the profile, installs its cost table via the router's
+        atomic :meth:`~repro.engine.router.Router.set_costs` (new table
+        + fresh decision cache in one reference swap — in-flight
+        ``choose`` calls finish against the old pair), arms the drift
+        detector, and bumps the ``recalibrations`` counter.  Safe to
+        call from any thread, including mid-batch: requests already
+        routed execute under their old decision; later requests route
+        under the new table.
+        """
+        from ..calibrate import DriftDetector
+
+        profile.validate()
+        detector = DriftDetector(self._drift_config)
+        # order matters for readers: the detector judging against the
+        # new table must be visible before predictions switch to it
+        self._calibration = profile
+        self._drift = detector
+        self.router.set_costs(profile.costs)
+        if _count:
+            with self._lock:
+                self.stats.recalibrations += 1
+
+    def calibration_snapshot(self) -> dict[str, Any]:
+        """JSON-safe calibration/drift health view (for ``/stats``)."""
+        profile = self._calibration
+        detector = self._drift
+        snap: dict[str, Any] = {"active": profile is not None}
+        if profile is not None:
+            snap["source"] = profile.source
+            snap["created_at"] = profile.created_at
+            snap["schema_version"] = profile.schema_version
+            snap["fitted_kinds"] = list(profile.fitted_kinds)
+        if detector is not None:
+            snap["drift"] = detector.snapshot()
+        return snap
+
+    def observe_deviation(self, observed: float, expected: float) -> None:
+        """Feed one traced decay-ratio observation to the drift detector.
+
+        ``observed`` is the measured end-of-Phase-1 ``live/m`` fraction
+        (``trace.compare``'s ``decay_ratio``); ``expected`` the model's
+        ``e^(−m·s₁/n)``.  No-op while no fitted profile is active.
+        """
+        detector = self._drift
+        if detector is None:
+            return
+        verdict = detector.observe_decay(observed, expected)
+        self._act_on_verdict(verdict)
+
+    def _observe_execution(
+        self, algorithm: str, n: int, n_lists: int, seconds: float
+    ) -> None:
+        """Judge one executed run against the active calibration.
+
+        Called after shard/solo execution with the engine lock *not*
+        held.  Inactive (zero overhead beyond the clock reads) until a
+        fitted profile is installed — comparing host wall time against
+        the paper's C-90 clock predictions would only measure how much
+        slower this machine is than a 1994 supercomputer.
+        """
+        detector = self._drift
+        profile = self._calibration
+        if detector is None or profile is None:
+            return
+        predicted_ns: float | None = None
+        router = self.router
+        if router.calibrated and algorithm in router.candidates:
+            predicted_ns = (
+                router.predicted_clocks(n, algorithm, n_lists)
+                * router.costs.clock_ns  # type: ignore[union-attr]
+            )
+        verdict = detector.observe_run(
+            algorithm, n, seconds, predicted_ns, n_lists=n_lists
+        )
+        self._act_on_verdict(verdict)
+
+    def _act_on_verdict(self, verdict: Any) -> None:
+        if verdict.alert:
+            with self._lock:
+                self.stats.drift_alerts += 1
+        if not verdict.refit:
+            return
+        from ..calibrate import FitError, fit_profile
+
+        detector = self._drift
+        profile = self._calibration
+        if detector is None or profile is None:
+            return
+        samples = detector.samples()
+        try:
+            fresh = fit_profile(
+                samples,
+                base=profile.costs,
+                source="auto-refit",
+                created_at=self.clock(),
+                tune=False,
+            )
+        except (FitError, ValueError):
+            # not enough usable telemetry in the window — keep serving
+            # on the current profile and let the next alert retry
+            return
+        self.recalibrate(fresh)
 
     # ------------------------------------------------------------------
     # drivers
@@ -730,6 +881,7 @@ class Engine:
             else self.router.choose(req.n, 1)
         )
         kstats = ScanStats()
+        t0 = self.clock()
         with span(
             "solo", request_id=req.request_id, n=req.n, algorithm=algorithm
         ):
@@ -743,10 +895,12 @@ class Engine:
                 trace=tracer,
                 kernel_backend=self.kernel_backend,
             )
+        elapsed = self.clock() - t0
         with self._lock:
             self.stats.solo_runs += 1
             self.stats.count_algorithm(algorithm)
             self.stats.merge_kernel_stats(kstats)
+        self._observe_execution(algorithm, req.n, 1, elapsed)
         return algorithm, result
 
     def _execute_shard_contained(
@@ -864,6 +1018,7 @@ class Engine:
         )
         offload = ship is not None
         traced = tracer is not None and tracer.enabled
+        t0 = self.clock()
         with span(
             "execute",
             algorithm=algorithm,
@@ -910,10 +1065,12 @@ class Engine:
                     tracer,
                     kernel_backend=self._kernel_backend,
                 )
+        elapsed = self.clock() - t0
         results = batch.unfuse(out)
         with self._lock:
             self.stats.fused_lists += batch.n_lists
             self.stats.fused_nodes += batch.n_nodes
             self.stats.count_algorithm(algorithm, batch.n_lists)
             self.stats.merge_kernel_stats(kstats)
+        self._observe_execution(algorithm, batch.n_nodes, batch.n_lists, elapsed)
         return algorithm, results

@@ -23,6 +23,13 @@ fixed crossover, so routing degrades gracefully rather than failing.
 Decisions are cached per √2-rounded size bucket (the same bucketing as
 ``core.tuning``), so repeated routing is O(1) after the first call for
 each size region.
+
+The calibration is swappable at runtime: :meth:`Router.set_costs`
+installs a new table and a fresh (empty) decision cache in one atomic
+reference assignment.  Readers snapshot the ``(costs, cache)`` pair
+once per call, so a concurrent swap can never pair old-table decisions
+with the new cache or vice versa — this is what lets
+``Engine.recalibrate`` hot-swap a fitted profile under live traffic.
 """
 
 from __future__ import annotations
@@ -41,6 +48,25 @@ DEFAULT_SERIAL_BELOW = 4096
 #: Algorithms the router chooses between.  All three have forest
 #: (multi-list) kernels, so a routed batch can always be executed fused.
 CANDIDATES = ("serial", "wyllie", "sublist")
+
+
+class _RouterState:
+    """One immutable calibration epoch: a cost table plus the decision
+    cache built *from that table*.
+
+    Bundling the two means a single reference assignment swaps both —
+    a reader that snapshots the state sees a cache containing only
+    decisions computed under the same table it is about to use.
+    (The ``choices`` dict itself mutates as decisions are memoized;
+    that is safe because every value it will ever hold is derived from
+    the same immutable ``costs``, and CPython dict get/set are atomic.)
+    """
+
+    __slots__ = ("costs", "choices")
+
+    def __init__(self, costs: KernelCosts | None) -> None:
+        self.costs = costs
+        self.choices: dict[tuple[int, int], str] = {}
 
 
 def _bucket(n: int) -> int:
@@ -87,22 +113,47 @@ class Router:
             raise ValueError("router needs at least one candidate")
         backend = resolve_backend(kernel_backend)
         self.kernel_backend = backend.name
-        self.costs = backend.scaled_costs(costs) if costs is not None else None
         self.serial_below = serial_below
         self.candidates = tuple(candidates)
-        self._choices: dict[tuple[int, int], str] = {}
+        self._state = _RouterState(
+            backend.scaled_costs(costs) if costs is not None else None
+        )
+
+    @property
+    def costs(self) -> KernelCosts | None:
+        """The active cost table (after backend scaling, if any)."""
+        return self._state.costs
 
     @property
     def calibrated(self) -> bool:
         """Whether model routing (vs. the fixed fallback) is active."""
-        return self.costs is not None
+        return self._state.costs is not None
 
-    def predicted_clocks(self, n: int, algorithm: str, n_lists: int = 1) -> float:
-        """Model-predicted clocks for one algorithm on ``n`` total nodes
-        spread over ``n_lists`` independent lists."""
-        costs = self.costs
-        if costs is None:
-            raise ValueError("router has no calibration; predictions unavailable")
+    def set_costs(
+        self, costs: KernelCosts | None, scale_backend: bool = False
+    ) -> None:
+        """Install a new calibration and invalidate the decision cache.
+
+        The swap is atomic: the new table and a fresh empty cache are
+        bundled into one state object and installed with a single
+        reference assignment, so concurrent :meth:`choose` calls see
+        either the old ``(costs, cache)`` pair or the new one — never
+        a stale decision served against the new table.
+
+        ``scale_backend`` applies this router's kernel-backend factors
+        to the table first, as the constructor does for the paper
+        table.  It defaults to off because fitted calibration profiles
+        are measured *through* the active backend — their coefficients
+        already include its speedup, and scaling again would double
+        count it.
+        """
+        if costs is not None and scale_backend:
+            costs = resolve_backend(self.kernel_backend).scaled_costs(costs)
+        self._state = _RouterState(costs)
+
+    def _predicted(
+        self, costs: KernelCosts, n: int, algorithm: str, n_lists: int
+    ) -> float:
         n = max(int(n), 1)
         n_lists = max(int(n_lists), 1)
         if algorithm == "serial":
@@ -120,23 +171,32 @@ class Router:
             f"unknown routable algorithm {algorithm!r}; expected one of {CANDIDATES}"
         )
 
+    def predicted_clocks(self, n: int, algorithm: str, n_lists: int = 1) -> float:
+        """Model-predicted clocks for one algorithm on ``n`` total nodes
+        spread over ``n_lists`` independent lists."""
+        costs = self._state.costs
+        if costs is None:
+            raise ValueError("router has no calibration; predictions unavailable")
+        return self._predicted(costs, n, algorithm, n_lists)
+
     def choose(self, n: int, n_lists: int = 1) -> str:
         """The cheapest candidate for ``n`` nodes over ``n_lists`` lists."""
         n = int(n)
         n_lists = max(int(n_lists), 1)
-        if self.costs is None:
+        state = self._state  # one snapshot: costs + cache stay paired
+        if state.costs is None:
             return "serial" if n < self.serial_below else "sublist"
         if n <= 8:
             return "serial" if "serial" in self.candidates else self.candidates[0]
         key = (_bucket(n), _bucket(n_lists))
-        cached = self._choices.get(key)
+        cached = state.choices.get(key)
         if cached is not None:
             return cached
         best = min(
             self.candidates,
-            key=lambda alg: self.predicted_clocks(key[0], alg, key[1]),
+            key=lambda alg: self._predicted(state.costs, key[0], alg, key[1]),
         )
-        self._choices[key] = best
+        state.choices[key] = best
         return best
 
     def crossover(self, lo: int = 2, hi: int = 1 << 22) -> int:

@@ -219,7 +219,13 @@ class InjectableClockRule(Rule):
         "time.perf_counter (referencing the function is fine; calling "
         "it inline is not)"
     )
-    paths = ("*/core/*.py", "*/engine/*.py", "*/trace/*.py", "*/serve/*.py")
+    paths = (
+        "*/core/*.py",
+        "*/engine/*.py",
+        "*/trace/*.py",
+        "*/serve/*.py",
+        "*/calibrate/*.py",
+    )
 
     _CLOCKS = frozenset(
         {"time", "perf_counter", "monotonic", "perf_counter_ns", "monotonic_ns"}

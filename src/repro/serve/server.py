@@ -602,10 +602,14 @@ class ScanServer:
 
         The engine part is exactly
         :meth:`~repro.engine.engine.EngineStats.snapshot` — the same
-        serializer ``repro-c90 batch --stats`` prints.
+        serializer ``repro-c90 batch --stats`` prints.  ``calibration``
+        carries the active profile's provenance and the drift
+        detector's health counters (``active: false`` while routing on
+        the static paper table); see ``docs/calibration.md``.
         """
         return {
             "engine": self.engine.stats.snapshot(),
+            "calibration": self.engine.calibration_snapshot(),
             "server": {
                 **self.counters,
                 "pending": len(self._pending),

@@ -77,6 +77,84 @@ class TestFallback:
             Router(costs=None).predicted_clocks(100, "serial")
 
 
+class TestHotSwap:
+    def test_set_costs_invalidates_decision_cache(self):
+        import dataclasses
+
+        router = Router()
+        n = 1 << 16
+        assert router.choose(n) == "sublist"  # decision now cached
+        # a table where the serial walk is essentially free must flip
+        # the same (cached) bucket to serial — stale cache entries
+        # surviving the swap would keep answering "sublist"
+        cheap_serial = dataclasses.replace(
+            PAPER_C90_COSTS, serial_per_elem=1e-6, serial_const=1e-6
+        )
+        router.set_costs(cheap_serial)
+        assert router.choose(n) == "serial"
+        # and back: the second swap restores the original decision
+        router.set_costs(PAPER_C90_COSTS)
+        assert router.choose(n) == "sublist"
+
+    def test_set_costs_none_reverts_to_fixed_fallback(self):
+        router = Router()
+        assert router.calibrated
+        router.set_costs(None)
+        assert not router.calibrated
+        assert router.choose(DEFAULT_SERIAL_BELOW - 1) == "serial"
+        assert router.choose(DEFAULT_SERIAL_BELOW) == "sublist"
+        with pytest.raises(ValueError):
+            router.predicted_clocks(100, "serial")
+
+    def test_set_costs_default_skips_backend_scaling(self):
+        # fitted profiles are measured through the active backend, so
+        # their table must be installed verbatim (no double scaling)
+        router = Router()
+        router.set_costs(PAPER_C90_COSTS)
+        assert router.costs is PAPER_C90_COSTS
+
+    def test_set_costs_swap_is_atomic_under_races(self):
+        import dataclasses
+        import threading
+
+        cheap_serial = dataclasses.replace(
+            PAPER_C90_COSTS, serial_per_elem=1e-6, serial_const=1e-6
+        )
+        router = Router()
+        stop = threading.Event()
+
+        def chooser(t):
+            sizes = [1 << k for k in range(4, 20)]
+            while not stop.is_set():
+                for n in sizes:
+                    router.choose(n, n_lists=1 + t)
+
+        threads = [threading.Thread(target=chooser, args=(t,))
+                   for t in range(4)]
+        for th in threads:
+            th.start()
+        for _ in range(200):
+            router.set_costs(cheap_serial)
+            router.set_costs(PAPER_C90_COSTS)
+        stop.set()
+        for th in threads:
+            th.join()
+        # the swap bundles (costs, cache) into one reference: a stale
+        # decision computed under the other table can never land in
+        # the final cache.  At quiescence every cached entry must match
+        # recomputation under the cache's own paired table.
+        state = router._state
+        assert state.costs is PAPER_C90_COSTS
+        assert state.choices, "race never populated the decision cache"
+        for (nb, kb), cached in state.choices.items():
+            predictions = {
+                alg: router._predicted(state.costs, nb, alg, kb)
+                for alg in router.candidates
+            }
+            expected = min(predictions, key=predictions.get)
+            assert cached == expected, (nb, kb)
+
+
 class TestAutoWiring:
     def test_route_algorithm_uses_default_router(self):
         assert route_algorithm(64) == default_router().choose(64)
