@@ -130,21 +130,27 @@ def choose_splitters(
     Phase 2").  The returned array may be shorter than ``m − 1`` for
     the competition strategy (duplicates drop out, exactly as the
     paper's duplicate processors do).
+
+    Degenerate inputs fall back instead of failing: ``m`` larger than
+    the list clamps to ``n - 1`` usable splitters (every non-tail node),
+    and a list with fewer than two nodes has no splittable interior, so
+    the result is empty and the caller's serial path takes over.
     """
-    want = m - 1
+    # A splitter must be a non-tail node, so at most n - 1 exist; a
+    # request for more (m > n) clamps rather than erroring so callers
+    # with a fixed m(n) schedule degrade cleanly on tiny lists.
+    want = min(m - 1, n - 1)
     if want < 1:
         return np.empty(0, dtype=INDEX_DTYPE)
-    if want > n - 1:
-        raise ValueError(f"cannot split a list of {n} nodes into {m} sublists")
     if strategy == "spaced":
         positions = np.unique(
-            (np.arange(1, want + 1, dtype=np.float64) * n / m).astype(INDEX_DTYPE)
+            (np.arange(1, want + 1, dtype=np.float64) * n / (want + 1)).astype(INDEX_DTYPE)
         )
     elif strategy == "random":
         pool = n - 1  # choose from [0, n) \ {tail} via shifted sampling
         draw = rng.choice(pool, size=want, replace=False).astype(INDEX_DTYPE)
         draw[draw >= tail] += 1
-        return np.sort(draw)
+        positions = np.sort(draw)
     elif strategy == "random_competition":
         draw = rng.integers(0, n, size=want, dtype=INDEX_DTYPE)
         # competition: write our id at the position, read it back, and
@@ -153,12 +159,12 @@ def choose_splitters(
         claim[draw] = np.arange(want, dtype=INDEX_DTYPE)
         winners = claim[draw] == np.arange(want, dtype=INDEX_DTYPE)
         positions = np.unique(draw[winners])
-        return positions[positions != tail]
     else:  # pragma: no cover - config validates upstream
         raise ValueError(f"unknown splitter strategy {strategy!r}")
     positions = positions[positions != tail]
     if positions.size == 0:
-        # degenerate tiny list: fall back to the first non-tail node
+        # degenerate tiny list (or every draw hit the tail): fall back
+        # to the first non-tail node so Phase 2 still sees >= 2 sublists
         fallback = 0 if tail != 0 else 1
         positions = np.asarray([fallback], dtype=INDEX_DTYPE)
     return positions

@@ -1,0 +1,34 @@
+"""Sharded and out-of-core list ranking (``docs/distributed.md``).
+
+The three-phase distributed shape — contract chunks in parallel, solve
+the reduced boundary list with the existing kernels, expand back —
+running on the engine's persistent worker pool, with an
+``np.memmap``-backed streaming mode for lists larger than RAM.
+"""
+
+from .config import DEFAULT_MEMORY_BUDGET_BYTES, DistributedConfig
+from .leases import LeaseGate
+from .oocore import (
+    MemmapList,
+    create_output_memmap,
+    open_memmap_list,
+    write_memmap_list,
+)
+from .partition import ChunkPlan, find_entries, plan_chunks
+from .sharded import sharded_forest_scan, sharded_list_rank, sharded_list_scan
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "ChunkPlan",
+    "DistributedConfig",
+    "LeaseGate",
+    "MemmapList",
+    "create_output_memmap",
+    "find_entries",
+    "open_memmap_list",
+    "plan_chunks",
+    "sharded_forest_scan",
+    "sharded_list_rank",
+    "sharded_list_scan",
+    "write_memmap_list",
+]

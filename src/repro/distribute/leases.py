@@ -1,0 +1,64 @@
+"""Bounded admission for shared-memory chunk leases.
+
+The out-of-core contract is a *fixed* resident budget no matter how
+large the list is, so chunk buffers cannot simply be allocated as fast
+as driver threads can dispatch them.  :class:`LeaseGate` is the
+admission valve: every in-flight chunk reserves its byte footprint
+before creating segments and returns it after the parent releases
+them, blocking excess dispatchers until memory frees up.  Segment
+*ownership* stays where it always was — created by the parent via the
+``engine.workers`` export helpers into a per-task lease list and
+closed+unlinked in that task's ``finally`` — the gate only bounds how
+many such lists exist at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+__all__ = ["LeaseGate"]
+
+
+class LeaseGate:
+    """Counting byte-semaphore with oversize admission.
+
+    A reservation larger than the whole budget is admitted once the
+    gate is empty (otherwise a single chunk bigger than the budget
+    would deadlock); it simply runs alone.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._outstanding = 0
+        self._peak = 0
+        self._cv = threading.Condition()
+
+    @property
+    def outstanding_bytes(self) -> int:
+        with self._cv:
+            return self._outstanding
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of reserved bytes (budget-compliance telemetry)."""
+        with self._cv:
+            return self._peak
+
+    @contextmanager
+    def admit(self, nbytes: int) -> Iterator[None]:
+        nbytes = max(0, int(nbytes))
+        with self._cv:
+            while self._outstanding > 0 and self._outstanding + nbytes > self.max_bytes:
+                self._cv.wait()
+            self._outstanding += nbytes
+            self._peak = max(self._peak, self._outstanding)
+        try:
+            yield
+        finally:
+            with self._cv:
+                self._outstanding -= nbytes
+                self._cv.notify_all()

@@ -1,0 +1,215 @@
+"""Out-of-core helpers: memmapped lists with bounded residency.
+
+Jacob/Lieber/Sitchinava's PEM analysis (PAPERS.md) motivates ranking
+lists larger than RAM by streaming the successor array in chunks.
+The NumPy side of that is ``np.memmap``; the part NumPy does not do is
+keeping the *resident set* bounded — file-backed pages stay mapped and
+counted against RSS until the kernel reclaims them, so a naive pass
+over a 3×-RAM file peaks at machine capacity.  :func:`drop_resident_
+range` evicts a processed chunk's pages immediately (``madvise(MADV_
+DONTNEED)`` on the element range, best effort), and :func:`flush_
+range` commits written output pages first so nothing is lost.
+
+:func:`write_memmap_list` builds benchmark/test lists directly on disk
+without ever materialising them in memory (ordered or blocked layouts,
+written chunk by chunk), and :func:`open_memmap_list` maps them back.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+from contextlib import suppress
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..lists.generate import INDEX_DTYPE
+
+__all__ = [
+    "MemmapList",
+    "create_output_memmap",
+    "drop_resident_range",
+    "flush_range",
+    "open_memmap_list",
+    "write_memmap_list",
+]
+
+_META_NAME = "list.json"
+_NEXT_NAME = "next.dat"
+_VALUES_NAME = "values.dat"
+
+#: Streaming write granularity for :func:`write_memmap_list`.
+_WRITE_CHUNK = 1 << 20
+
+
+def _byte_range(arr: np.memmap, lo: int, hi: int) -> tuple[int, int]:
+    """Page-aligned (start, length) of elements ``[lo, hi)`` within the
+    mapping, clamped to the map."""
+    page = mmap.PAGESIZE
+    start = arr.offset + lo * arr.dtype.itemsize
+    stop = arr.offset + hi * arr.dtype.itemsize
+    start = (start // page) * page
+    stop = min(-(-stop // page) * page, arr.offset + arr.nbytes)
+    return start, max(0, stop - start)
+
+
+def drop_resident_range(arr: np.ndarray, lo: int, hi: int) -> None:
+    """Evict elements ``[lo, hi)`` of a memmap from this process's
+    resident set (best effort; a plain ndarray is a no-op).
+
+    For a ``MAP_SHARED`` file mapping ``MADV_DONTNEED`` only drops the
+    process's page references — file contents are untouched (dirty
+    pages must be flushed first; see :func:`flush_range`).
+    """
+    if not isinstance(arr, np.memmap) or hi <= lo:
+        return
+    raw = getattr(arr, "_mmap", None)
+    if raw is None:
+        return
+    start, length = _byte_range(arr, lo, hi)
+    if length <= 0:
+        return
+    with suppress(Exception):  # madvise is advisory everywhere
+        raw.madvise(mmap.MADV_DONTNEED, start, length)
+
+
+def flush_range(arr: np.ndarray, lo: int, hi: int) -> None:
+    """Commit written elements ``[lo, hi)`` of a memmap to its file."""
+    if not isinstance(arr, np.memmap) or hi <= lo:
+        return
+    raw = getattr(arr, "_mmap", None)
+    if raw is None:
+        return
+    start, length = _byte_range(arr, lo, hi)
+    if length <= 0:
+        return
+    with suppress(Exception):
+        raw.flush(start, length)
+
+
+@dataclass(frozen=True)
+class MemmapList:
+    """A linked list whose arrays live in files, not RAM.
+
+    Deliberately *not* a :class:`repro.lists.generate.LinkedList` —
+    that class's contiguity normalisation would hide the memmap types
+    the streaming path keys off.  ``next``/``values`` are ``np.memmap``
+    instances opened read-only by default.
+    """
+
+    next: np.memmap
+    values: np.memmap
+    head: int
+
+    @property
+    def n(self) -> int:
+        return int(self.next.shape[0])
+
+
+def write_memmap_list(
+    directory: str | Path,
+    n: int,
+    layout: str = "ordered",
+    block: int = 1 << 16,
+    value_dtype: np.dtype = INDEX_DTYPE,
+    seed: int = 0,
+) -> Path:
+    """Stream a list of ``n`` nodes onto disk; returns the directory.
+
+    Layouts mirror ``lists.generate`` but are written chunk by chunk so
+    peak memory stays O(chunk), letting tests and benches build lists
+    far larger than the configured budget:
+
+    ``ordered``
+        ``next[i] = i + 1`` — the fully local layout.
+    ``blocked``
+        node order permuted independently inside each ``block``-sized
+        window (seeded), so links stay window-local but non-trivial —
+        the locality story of ``lists.generate.blocked_list``.
+
+    Values are all ones (the list-ranking convention), so the expected
+    exclusive scan at a node equals its rank.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if layout not in ("ordered", "blocked"):
+        raise ValueError(f"unknown memmap layout {layout!r}")
+    nxt_mm = np.memmap(
+        directory / _NEXT_NAME, dtype=INDEX_DTYPE, mode="w+", shape=(n,)
+    )
+    val_mm = np.memmap(
+        directory / _VALUES_NAME, dtype=np.dtype(value_dtype), mode="w+", shape=(n,)
+    )
+    rng = np.random.default_rng(seed)
+    head = 0
+    try:
+        if layout == "ordered":
+            for lo in range(0, n, _WRITE_CHUNK):
+                hi = min(n, lo + _WRITE_CHUNK)
+                nxt_mm[lo:hi] = np.arange(lo + 1, hi + 1, dtype=INDEX_DTYPE)
+                val_mm[lo:hi] = 1
+                flush_range(nxt_mm, lo, hi)
+                flush_range(val_mm, lo, hi)
+                drop_resident_range(nxt_mm, lo, hi)
+                drop_resident_range(val_mm, lo, hi)
+            nxt_mm[n - 1] = n - 1  # tail self-loop
+            head = 0
+        else:  # blocked: permute node ids window by window
+            block = max(2, int(block))
+            prev: int | None = None
+            for lo in range(0, n, block):
+                hi = min(n, lo + block)
+                order = lo + rng.permutation(hi - lo).astype(INDEX_DTYPE)
+                # list order visits this window's nodes in `order`; link
+                # the previous window's last node into our first
+                nxt_window = np.empty(hi - lo, dtype=INDEX_DTYPE)
+                nxt_window[order[:-1] - lo] = order[1:]
+                nxt_window[order[-1] - lo] = order[-1]  # provisional tail
+                nxt_mm[lo:hi] = nxt_window
+                val_mm[lo:hi] = 1
+                if prev is None:
+                    head = int(order[0])
+                else:
+                    nxt_mm[prev] = order[0]
+                prev = int(order[-1])
+                flush_range(nxt_mm, lo, hi)
+                flush_range(val_mm, lo, hi)
+                drop_resident_range(nxt_mm, lo, hi)
+                drop_resident_range(val_mm, lo, hi)
+    finally:
+        nxt_mm.flush()
+        val_mm.flush()
+        del nxt_mm, val_mm
+    meta = {
+        "n": n,
+        "head": head,
+        "layout": layout,
+        "value_dtype": np.dtype(value_dtype).str,
+        "seed": seed,
+    }
+    (directory / _META_NAME).write_text(json.dumps(meta))
+    return directory
+
+
+def open_memmap_list(directory: str | Path, mode: str = "r") -> MemmapList:
+    """Map a list written by :func:`write_memmap_list`."""
+    directory = Path(directory)
+    meta = json.loads((directory / _META_NAME).read_text())
+    n = int(meta["n"])
+    nxt = np.memmap(directory / _NEXT_NAME, dtype=INDEX_DTYPE, mode=mode, shape=(n,))
+    values = np.memmap(
+        directory / _VALUES_NAME, dtype=np.dtype(meta["value_dtype"]), mode=mode, shape=(n,)
+    )
+    return MemmapList(next=nxt, values=values, head=int(meta["head"]))
+
+
+def create_output_memmap(
+    directory: str | Path, n: int, dtype: np.dtype = INDEX_DTYPE
+) -> np.memmap:
+    """Writable output array on disk for an out-of-core scan."""
+    path = Path(directory) / "out.dat"
+    return np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=(n,))

@@ -1,0 +1,90 @@
+"""Chunk planning and boundary-node discovery.
+
+Chunks are contiguous index ranges of the successor array — the only
+partition an out-of-core pass can afford, since a chunk must be one
+sequential read of the backing file.  The *entry nodes* of a chunk are
+where global lists enter it: targets of edges that cross a chunk
+boundary, plus the list heads themselves.  Cutting the chunk's edges
+at entries (and at chunk exits) decomposes it into disjoint segments,
+each starting at an entry — the unit the distributed three-phase
+algorithm contracts to a single (segment-sum, exit) pair.
+
+Everything here streams: ``find_entries`` reads the successor array
+one chunk at a time, so it works identically on an in-memory array and
+an ``np.memmap`` without ever materialising the whole thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lists.generate import INDEX_DTYPE
+
+__all__ = ["ChunkPlan", "plan_chunks", "find_entries"]
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Contiguous partition of ``[0, n)`` into near-equal chunks."""
+
+    offsets: np.ndarray  # shape (num_chunks + 1,), ascending, [0 ... n]
+
+    @property
+    def n(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+    def bounds(self, c: int) -> tuple[int, int]:
+        return int(self.offsets[c]), int(self.offsets[c + 1])
+
+    def chunk_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Chunk index owning each global node id (vectorised)."""
+        return np.searchsorted(self.offsets, nodes, side="right") - 1
+
+
+def plan_chunks(n: int, num_chunks: int) -> ChunkPlan:
+    """Split ``[0, n)`` into ``num_chunks`` near-equal contiguous ranges."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    num_chunks = max(1, min(int(num_chunks), max(1, n)))
+    offsets = np.linspace(0, n, num_chunks + 1).astype(INDEX_DTYPE)
+    offsets[0] = 0
+    offsets[-1] = n
+    return ChunkPlan(offsets=offsets)
+
+
+def find_entries(
+    nxt_reader, plan: ChunkPlan, heads: np.ndarray
+) -> list[np.ndarray]:
+    """Per-chunk sorted global entry-node ids.
+
+    ``nxt_reader(lo, hi)`` returns the successor slice for ``[lo, hi)``
+    — a closure over an ndarray or a memmap, so this pass streams the
+    array once regardless of where it lives.
+
+    An entry is a node some list *enters* the chunk at: the target of
+    any cross-chunk edge, or a list head.  Self-loops (list tails) are
+    not edges.  The per-chunk result arrays are sorted and duplicate
+    free; concatenating them yields the globally sorted reduced node
+    set, which is what the orchestrator builds the reduced list over.
+    """
+    targets: list[np.ndarray] = [np.asarray(heads, dtype=INDEX_DTYPE).ravel()]
+    for c in range(plan.num_chunks):
+        lo, hi = plan.bounds(c)
+        if hi == lo:
+            continue
+        nxt_c = np.asarray(nxt_reader(lo, hi))
+        # self-loops (tails) point inside the chunk by construction, so
+        # a simple out-of-range test finds exactly the crossing edges
+        cross = (nxt_c < lo) | (nxt_c >= hi)
+        targets.append(nxt_c[cross].astype(INDEX_DTYPE, copy=False))
+    every = np.unique(np.concatenate(targets))
+    # bucket the global entry set back into chunks; np.unique sorted it,
+    # so each per-chunk slice is sorted too
+    cuts = np.searchsorted(every, plan.offsets)
+    return [every[cuts[c] : cuts[c + 1]] for c in range(plan.num_chunks)]

@@ -62,6 +62,7 @@ from typing import Any, TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..calibrate import CalibrationProfile, DriftConfig, DriftDetector
+    from ..distribute import DistributedConfig
 
 import numpy as np
 
@@ -159,6 +160,8 @@ class EngineStats:
     fused_lists: int = 0  # lists that executed inside a fused forest
     fused_nodes: int = 0
     solo_runs: int = 0  # lists executed alone (unfusable or singleton)
+    distributed_runs: int = 0  # shards routed to the sharded scan
+    distributed_chunks: int = 0  # chunk contractions across those runs
     cache_hits: int = 0
     cache_misses: int = 0
     errors: int = 0
@@ -188,6 +191,8 @@ class EngineStats:
         "fused_lists",
         "fused_nodes",
         "solo_runs",
+        "distributed_runs",
+        "distributed_chunks",
         "cache_hits",
         "cache_misses",
         "errors",
@@ -329,6 +334,17 @@ class Engine:
         detector that activates whenever a calibration profile is
         installed; ``None`` uses the default tolerances.  See
         ``docs/calibration.md``.
+    distributed:
+        Optional :class:`repro.distribute.DistributedConfig`.  When
+        set, auto-routed shards whose fused working set exceeds the
+        configured memory budget (``DistributedConfig.should_shard``)
+        execute through the three-phase sharded scan
+        (``repro.distribute``) instead of one fused kernel: chunks
+        contract in parallel across this engine's worker pool, the
+        reduced boundary list is solved by the same cost-model router,
+        and chunks expand in parallel.  Results stay bit-identical for
+        integer operators.  ``None`` (default) disables sharded
+        routing.  See ``docs/distributed.md``.
     """
 
     def __init__(
@@ -349,6 +365,7 @@ class Engine:
         clock: Callable[[], float] | None = None,
         calibration: "CalibrationProfile | None" = None,
         drift: "DriftConfig | None" = None,
+        distributed: "DistributedConfig | None" = None,
     ) -> None:
         if validate not in VALIDATION_MODES:
             raise ValueError(
@@ -381,6 +398,7 @@ class Engine:
         self.size_class_base = size_class_base
         self.validate = validate
         self.trace = resolve_trace(trace)
+        self.distributed = distributed
         self.stats = EngineStats()
         self._seeds = np.random.SeedSequence(seed)
         self._lock = threading.Lock()
@@ -531,10 +549,15 @@ class Engine:
         if detector is None:
             return
         verdict = detector.observe_decay(observed, expected)
-        self._act_on_verdict(verdict)
+        self._act_on_verdict(verdict, detector)
 
     def _observe_execution(
-        self, algorithm: str, n: int, n_lists: int, seconds: float
+        self,
+        algorithm: str,
+        n: int,
+        n_lists: int,
+        seconds: float,
+        epoch: "DriftDetector | None" = None,
     ) -> None:
         """Judge one executed run against the active calibration.
 
@@ -543,10 +566,21 @@ class Engine:
         fitted profile is installed — comparing host wall time against
         the paper's C-90 clock predictions would only measure how much
         slower this machine is than a 1994 supercomputer.
+
+        ``epoch`` is the drift detector that was active when the run
+        *started* (callers capture ``self._drift`` before timing).  A
+        concurrent :meth:`recalibrate` installs a fresh detector, so
+        ``epoch is not self._drift`` means this run was measured under
+        the previous cost table — its sample is discarded rather than
+        judged against predictions it never ran under, which would
+        seed the new window with stale timings and could trigger a
+        spurious alert/auto-refit right after a profile install.
         """
         detector = self._drift
         profile = self._calibration
         if detector is None or profile is None:
+            return
+        if detector is not epoch:
             return
         predicted_ns: float | None = None
         router = self.router
@@ -558,9 +592,11 @@ class Engine:
         verdict = detector.observe_run(
             algorithm, n, seconds, predicted_ns, n_lists=n_lists
         )
-        self._act_on_verdict(verdict)
+        self._act_on_verdict(verdict, detector)
 
-    def _act_on_verdict(self, verdict: Any) -> None:
+    def _act_on_verdict(
+        self, verdict: Any, detector: "DriftDetector | None" = None
+    ) -> None:
         if verdict.alert:
             with self._lock:
                 self.stats.drift_alerts += 1
@@ -568,9 +604,14 @@ class Engine:
             return
         from ..calibrate import FitError, fit_profile
 
-        detector = self._drift
+        if detector is None:
+            detector = self._drift
         profile = self._calibration
         if detector is None or profile is None:
+            return
+        if detector is not self._drift:
+            # a recalibration raced this verdict; the window that
+            # demanded the refit belongs to a retired profile
             return
         samples = detector.samples()
         try:
@@ -881,6 +922,7 @@ class Engine:
             else self.router.choose(req.n, 1)
         )
         kstats = ScanStats()
+        epoch = self._drift  # calibration epoch this run is measured under
         t0 = self.clock()
         with span(
             "solo", request_id=req.request_id, n=req.n, algorithm=algorithm
@@ -900,7 +942,7 @@ class Engine:
             self.stats.solo_runs += 1
             self.stats.count_algorithm(algorithm)
             self.stats.merge_kernel_stats(kstats)
-        self._observe_execution(algorithm, req.n, 1, elapsed)
+        self._observe_execution(algorithm, req.n, 1, elapsed, epoch=epoch)
         return algorithm, result
 
     def _execute_shard_contained(
@@ -979,6 +1021,18 @@ class Engine:
             results = [self._solo_scan(req)[1] for req in shard]
             return forced, results
 
+        # capacity routing: shards whose fused working set would blow
+        # the distributed memory budget run through the sharded
+        # three-phase scan instead (checked before the singleton
+        # shortcut — one oversized request is the common case).
+        if forced == "auto" and self.distributed is not None:
+            total_nodes = sum(req.n for req in shard)
+            value_dtype = np.result_type(
+                *(req.lst.values.dtype for req in shard)
+            )
+            if self.distributed.should_shard(total_nodes, value_dtype):
+                return self._execute_distributed(shard)
+
         if len(shard) == 1:
             algorithm, result = self._solo_scan(shard[0])
             return algorithm, [result]
@@ -1018,6 +1072,7 @@ class Engine:
         )
         offload = ship is not None
         traced = tracer is not None and tracer.enabled
+        epoch = self._drift  # calibration epoch this run is measured under
         t0 = self.clock()
         with span(
             "execute",
@@ -1072,5 +1127,60 @@ class Engine:
             self.stats.fused_nodes += batch.n_nodes
             self.stats.count_algorithm(algorithm, batch.n_lists)
             self.stats.merge_kernel_stats(kstats)
-        self._observe_execution(algorithm, batch.n_nodes, batch.n_lists, elapsed)
+        self._observe_execution(
+            algorithm, batch.n_nodes, batch.n_lists, elapsed, epoch=epoch
+        )
         return algorithm, results
+
+    def _execute_distributed(
+        self, shard: list[ScanRequest]
+    ) -> tuple[str, list[np.ndarray]]:
+        """Run one oversized shard through the three-phase sharded scan.
+
+        The fused forest is partitioned into chunks that contract in
+        parallel on this engine's backend; the reduced boundary list is
+        solved by the same router-selected kernels; expansion restores
+        per-node results.  The drift detector is not fed — the cost
+        model has no ``distributed`` candidate to predict against.
+        Failures propagate to :meth:`_execute_shard_contained`, whose
+        quarantine retry re-runs every member solo through the ordinary
+        kernels.
+        """
+        from ..distribute import sharded_forest_scan
+
+        tracer = self.trace
+        span = tracer.span if tracer is not None else null_span
+        rng = self._child_rng()
+        batch = FusedBatch.fuse(shard)
+        kstats = ScanStats()
+        report: dict[str, Any] = {}
+        with span(
+            "execute",
+            algorithm="distributed",
+            lists=batch.n_lists,
+            nodes=batch.n_nodes,
+        ):
+            out = sharded_forest_scan(
+                batch.nxt,
+                batch.values,
+                batch.heads,
+                batch.op,
+                inclusive=batch.inclusive,
+                config=self.distributed,
+                backend=self._backend,
+                router=self.router,
+                rng=rng,
+                stats=kstats,
+                trace=tracer,
+                kernel_backend=self._kernel_backend,
+                report=report,
+            )
+        results = batch.unfuse(out)
+        with self._lock:
+            self.stats.fused_lists += batch.n_lists
+            self.stats.fused_nodes += batch.n_nodes
+            self.stats.distributed_runs += 1
+            self.stats.distributed_chunks += int(report.get("num_chunks", 0))
+            self.stats.count_algorithm("distributed", batch.n_lists)
+            self.stats.merge_kernel_stats(kstats)
+        return "distributed", results

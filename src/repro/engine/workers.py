@@ -197,6 +197,41 @@ def _alloc_out(
     return ref
 
 
+def _attach_untracked(name: str) -> Any:
+    """Attach to a parent-owned segment without tracker side effects.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker (CPython gh-82300) even though an attacher does not own it
+    — and pool workers *share* the parent's tracker process (its fd is
+    inherited through spawn/forkserver), so that registration aliases
+    the parent's own.  The previous scheme deregistered at task
+    teardown, which was doubly broken: a worker SIGKILLed between
+    attach and deregister left the alias dangling (the tracker's sweep
+    could then unlink a name the parent had already freed and the OS
+    reused — another task's live segment), while on the healthy path
+    the worker's deregistration *erased the parent's registration*, so
+    the parent's later ``unlink`` raced an empty cache (the tracker
+    ``KeyError`` noise) and a parent crash after that point leaked the
+    segment with no tracker backstop.  Suppressing registration at
+    attach time removes the whole window: only the creating parent
+    ever holds a registration, on every path.  (Python 3.13+ exposes
+    this as ``SharedMemory(track=False)``; this supports 3.10+.)
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+
+    def _register_except_shm(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - defensive
+            original_register(rname, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
 def _attach_array(ref: _ArrayRef, holds: list[Any]) -> np.ndarray:
     """Worker side of :class:`_ArrayRef`: map the segment (tracking the
     mapping in ``holds`` for cleanup) or take the inline array."""
@@ -204,14 +239,21 @@ def _attach_array(ref: _ArrayRef, holds: list[Any]) -> np.ndarray:
         if ref.inline is None:
             return np.empty(ref.shape, dtype=np.dtype(ref.dtype))
         return ref.inline
-    from multiprocessing import shared_memory
-
-    shm = shared_memory.SharedMemory(name=ref.shm_name)
+    shm = _attach_untracked(ref.shm_name)
     holds.append(shm)
     return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
 
 
 def _release(segments: list[Any], unlink: bool) -> None:
+    """Tear down segment handles on every path, crash or not.
+
+    Parent side (``unlink=True``): close the mapping and free the
+    segment; ``FileNotFoundError`` is tolerated so a double release
+    (e.g. containment retry after a worker crash) stays idempotent.
+    Worker side (``unlink=False``): close only — attaching never
+    registered with the tracker (see :func:`_attach_untracked`), so
+    there is no teardown-ordering window on the worker at all.
+    """
     for shm in segments:
         # exported views may still be alive (close) / already gone (unlink)
         with suppress(BufferError):
@@ -219,18 +261,6 @@ def _release(segments: list[Any], unlink: bool) -> None:
         if unlink:
             with suppress(FileNotFoundError):
                 shm.unlink()
-        else:
-            # Attach-side release (worker): attaching re-registered the
-            # segment with this process's resource tracker (CPython
-            # gh-82300), but the *parent* owns unlink — deregister so
-            # the tracker doesn't warn about (and double-free) segments
-            # the parent already cleaned up.
-            with suppress(Exception):  # best-effort hygiene
-                from multiprocessing import resource_tracker
-
-                resource_tracker.unregister(
-                    getattr(shm, "_name", shm.name), "shared_memory"
-                )
 
 
 def _pool_mp_context() -> Any:
@@ -386,6 +416,9 @@ class ExecutionBackend:
     ) -> tuple[np.ndarray, ScanStats, list[dict[str, Any]]]:
         raise NotImplementedError(f"{self.name!r} backend executes kernels inline")
 
+    def run_task(self, fn: Callable[..., Any], /, *args: Any) -> Any:
+        raise NotImplementedError(f"{self.name!r} backend executes tasks inline")
+
     def close(self) -> None:
         """Tear down worker pools; safe to call any number of times."""
         with self._lock:
@@ -501,6 +534,24 @@ class ProcessBackend(ExecutionBackend):
             return [fn(shard) for shard in shards]
         return list(self._ensure_driver().map(fn, shards))
 
+    def run_task(self, fn: Callable[..., Any], /, *args: Any) -> Any:
+        """Run one picklable task on the process pool and wait for it.
+
+        The shared seam for every off-process dispatch (fused shards,
+        distributed chunk contractions/expansions): a worker crash
+        (``BrokenProcessPool``) drops the pool so the next dispatch
+        builds a fresh one, then re-raises for the caller's containment.
+        """
+        pool = self._ensure_pool()
+        try:
+            return pool.submit(fn, *args).result()
+        except BrokenProcessPool:
+            with self._lock:
+                broken, self._pool = self._pool, None
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            raise
+
     def run_fused(
         self,
         nxt: np.ndarray,
@@ -521,7 +572,6 @@ class ProcessBackend(ExecutionBackend):
         and closed+unlinked here on every path (including worker
         crashes), so a poisoned shard cannot leak ``/dev/shm`` space.
         """
-        pool = self._ensure_pool()
         leases: list[Any] = []
         try:
             task = _FusedTask(
@@ -540,17 +590,7 @@ class ProcessBackend(ExecutionBackend):
             )
             with self._lock:
                 self.tasks_offloaded += 1
-            try:
-                kstats, spans, payload = pool.submit(_run_fused_task, task).result()
-            except BrokenProcessPool:
-                # the pool is unusable; drop it so the next dispatch
-                # builds a fresh one, and let containment quarantine
-                # this shard like any other execution failure
-                with self._lock:
-                    broken, self._pool = self._pool, None
-                if broken is not None:
-                    broken.shutdown(wait=False, cancel_futures=True)
-                raise
+            kstats, spans, payload = self.run_task(_run_fused_task, task)
             if payload is not None:
                 out = np.asarray(payload)
             else:

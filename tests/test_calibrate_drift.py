@@ -271,7 +271,9 @@ class TestEngineCalibration:
             # profile predicts (distinct sizes so the refit is solvable)
             for n in (10_000, 20_000):
                 predicted = engine.router.predicted_clocks(n, "serial")
-                engine._observe_execution("serial", n, 1, predicted * 10 * 1e-9)
+                engine._observe_execution(
+                    "serial", n, 1, predicted * 10 * 1e-9, epoch=engine._drift
+                )
             assert engine.stats.drift_alerts == 2
             assert engine.stats.recalibrations == 1
             fresh = engine.calibration
@@ -290,10 +292,53 @@ class TestEngineCalibration:
             # same x twice: degenerate design, the refit must fail
             # quietly and keep the current profile serving
             for _ in range(2):
-                engine._observe_execution("serial", 10_000, 1, 1e-1)
+                engine._observe_execution(
+                    "serial", 10_000, 1, 1e-1, epoch=engine._drift
+                )
             assert engine.stats.drift_alerts == 2
             assert engine.stats.recalibrations == 0
             assert engine.calibration is profile
+
+    def test_recalibrate_clears_window_and_discards_stale_epochs(self):
+        """Installing a new profile must retire the old rolling window.
+
+        Samples timed under profile A's cost table that complete after
+        profile B is installed carry A-epoch timings; feeding them to
+        B's detector would seed the fresh window with stale data and
+        could fire a spurious alert/auto-refit immediately after the
+        swap.  The epoch guard discards them instead.
+        """
+        profile_a = make_profile(serial_per_elem=1000.0, source="a")
+        profile_b = make_profile(serial_per_elem=900.0, source="b")
+        cfg = DriftConfig(tolerance=3.0, auto_refit_after=2, min_seconds=0.0)
+        with Engine(seed=1, calibration=profile_a, drift=cfg) as engine:
+            # seed the rolling window with one out-of-tolerance sample
+            epoch_a = engine._drift
+            predicted = engine.router.predicted_clocks(10_000, "serial")
+            slow = predicted * 10 * 1e-9
+            engine._observe_execution("serial", 10_000, 1, slow, epoch=epoch_a)
+            assert engine.stats.drift_alerts == 1
+            assert engine.calibration_snapshot()["drift"]["window"] == 1
+            engine.recalibrate(profile_b)
+            assert engine.stats.recalibrations == 1
+            # the new profile starts with a clean window and streak
+            snap = engine.calibration_snapshot()["drift"]
+            assert snap["window"] == 0
+            assert snap["consecutive"] == 0
+            # an A-epoch run finishing late is discarded, not judged
+            # against B — one more such sample would otherwise hit
+            # auto_refit_after=2 and trigger a spurious refit
+            engine._observe_execution("serial", 20_000, 1, slow, epoch=epoch_a)
+            snap = engine.calibration_snapshot()["drift"]
+            assert snap["window"] == 0
+            assert engine.stats.drift_alerts == 1
+            assert engine.stats.recalibrations == 1
+            assert engine.calibration is profile_b
+            # a B-epoch run is judged normally against the new table
+            engine._observe_execution(
+                "serial", 20_000, 1, slow, epoch=engine._drift
+            )
+            assert engine.calibration_snapshot()["drift"]["window"] == 1
 
 
 class TestRecalibrateConcurrency:

@@ -1,0 +1,171 @@
+"""Property-based tests: the sharded scan ≡ the in-memory kernels.
+
+Hypothesis drives arbitrary valid lists (including layouts engineered
+to cross chunk boundaries constantly), arbitrary chunk counts, and
+multi-list forests through :func:`repro.distribute.sharded_forest_scan`
+and asserts bit-identity against ``sublist_list_scan`` /
+``forest_list_scan`` — the ISSUE's acceptance bar for the distributed
+path.  The executor matrix rides on a module-scoped backend per kind
+so pool startup doesn't dominate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.forest import forest_list_scan
+from repro.core.operators import MAX, MIN, SUM, XOR
+from repro.core.sublist import sublist_list_scan
+from repro.distribute import DistributedConfig, sharded_forest_scan, sharded_list_scan
+from repro.engine.workers import create_backend
+from repro.lists.generate import INDEX_DTYPE, from_order
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SCAN_OPS = [SUM, MAX, MIN, XOR]
+
+
+@st.composite
+def linked_lists(draw, max_n=300):
+    """A random valid list; half the draws use a boundary-hostile
+    permutation (adjacent nodes land in different chunks)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if draw(st.booleans()):
+        order = rng.permutation(n)
+    else:
+        # stride the traversal across the whole index range so nearly
+        # every link crosses a chunk boundary
+        stride = draw(st.integers(min_value=2, max_value=max(2, n)))
+        order = np.argsort((np.arange(n) * stride) % n, kind="stable")
+    values = rng.integers(-50, 50, n)
+    return from_order(order, values)
+
+
+@st.composite
+def forests(draw, max_lists=4, max_n=120):
+    """Several lists fused into one successor array (shuffled node
+    numbering, so list membership interleaves across chunks)."""
+    k = draw(st.integers(min_value=1, max_value=max_lists))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    sizes = [draw(st.integers(min_value=1, max_value=max_n)) for _ in range(k)]
+    total = sum(sizes)
+    relabel = rng.permutation(total)
+    nxt = np.empty(total, dtype=INDEX_DTYPE)
+    heads = []
+    offset = 0
+    for size in sizes:
+        lst = from_order(rng.permutation(size), np.zeros(size))
+        local = relabel[offset : offset + size]
+        nxt[local] = local[lst.next]
+        heads.append(local[lst.head])
+        offset += size
+    values = rng.integers(-50, 50, total)
+    return nxt, values, np.asarray(heads, dtype=INDEX_DTYPE)
+
+
+class TestShardedEquivalence:
+    @settings(max_examples=60, **COMMON)
+    @given(
+        lst=linked_lists(),
+        num_chunks=st.integers(min_value=1, max_value=12),
+        seed=st.integers(0, 1000),
+    )
+    def test_equals_sublist_any_chunking(self, lst, num_chunks, seed):
+        expect = sublist_list_scan(lst, rng=seed)
+        got = sharded_list_scan(
+            lst, config=DistributedConfig(num_chunks=num_chunks), rng=seed
+        )
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=30, **COMMON)
+    @given(
+        lst=linked_lists(max_n=200),
+        num_chunks=st.integers(min_value=1, max_value=8),
+        seed=st.integers(0, 1000),
+        inclusive=st.booleans(),
+    )
+    def test_operators_and_inclusive(self, lst, num_chunks, seed, inclusive):
+        for op in SCAN_OPS:
+            expect = sublist_list_scan(lst, op, inclusive=inclusive, rng=seed)
+            got = sharded_list_scan(
+                lst,
+                op,
+                inclusive=inclusive,
+                config=DistributedConfig(num_chunks=num_chunks),
+                rng=seed,
+            )
+            assert np.array_equal(got, expect), op.name
+
+    @settings(max_examples=40, **COMMON)
+    @given(
+        forest=forests(),
+        num_chunks=st.integers(min_value=1, max_value=10),
+        seed=st.integers(0, 1000),
+    )
+    def test_forests_equal_forest_scan(self, forest, num_chunks, seed):
+        nxt, values, heads = forest
+        expect = forest_list_scan(nxt, values, heads, rng=seed)
+        got = sharded_forest_scan(
+            nxt,
+            values,
+            heads,
+            config=DistributedConfig(num_chunks=num_chunks),
+            rng=seed,
+        )
+        assert np.array_equal(got, expect)
+
+
+class TestExecutorMatrix:
+    """Same property on the pooled executors — fewer examples, shared
+    pools (these cross thread/process boundaries per example)."""
+
+    @pytest.fixture(scope="class")
+    def threads_backend(self):
+        backend = create_backend("threads", 2)
+        yield backend
+        backend.close()
+
+    @pytest.fixture(scope="class")
+    def process_backend(self):
+        backend = create_backend("processes", 2)
+        yield backend
+        backend.close()
+
+    @settings(max_examples=20, **COMMON)
+    @given(
+        lst=linked_lists(max_n=200),
+        num_chunks=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 1000),
+    )
+    def test_threads_equals_sublist(self, threads_backend, lst, num_chunks, seed):
+        expect = sublist_list_scan(lst, rng=seed)
+        got = sharded_list_scan(
+            lst,
+            config=DistributedConfig(num_chunks=num_chunks),
+            backend=threads_backend,
+            rng=seed,
+        )
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=10, **COMMON)
+    @given(
+        lst=linked_lists(max_n=200),
+        num_chunks=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 1000),
+    )
+    def test_processes_equals_sublist(self, process_backend, lst, num_chunks, seed):
+        expect = sublist_list_scan(lst, rng=seed)
+        got = sharded_list_scan(
+            lst,
+            config=DistributedConfig(num_chunks=num_chunks),
+            backend=process_backend,
+            rng=seed,
+        )
+        assert np.array_equal(got, expect)

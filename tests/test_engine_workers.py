@@ -284,3 +284,82 @@ class TestProcessTraceAdoption:
         with Engine(executor="processes", cache_capacity=0, seed=10) as engine:
             responses = engine.run_batch(reqs)
         assert all(r.ok for r in responses)
+
+
+class TestWorkerCrashRecovery:
+    """A SIGKILLed worker must not leak shm or poison the backend: the
+    failing dispatch raises ``BrokenProcessPool``, every lease is
+    released, the dead pool is dropped, and the next dispatch builds a
+    fresh one (the shm teardown / pool-recovery regression)."""
+
+    @staticmethod
+    def _worker_pids(backend):
+        return [p.pid for p in backend._pool._processes.values()]
+
+    def test_killed_worker_releases_segments_and_recovers(self):
+        import os
+        import signal
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        rng = np.random.default_rng(0)
+        n = 100_000  # above SHM_MIN_BYTES: arrays cross via /dev/shm
+        nxt = np.arange(1, n + 1, dtype=np.int64)
+        nxt[-1] = n - 1
+        values = rng.integers(-9, 9, n)
+        heads = np.array([0], dtype=np.int64)
+        backend = ProcessBackend(max_workers=1)
+        try:
+            out, _, _ = backend.run_fused(
+                nxt, values, heads, "sum", False, "serial", 0, False
+            )
+            expect = out.copy()
+            assert backend.pools_created == 1
+            before = set(glob.glob("/dev/shm/psm_*"))
+            for pid in self._worker_pids(backend):
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(BrokenProcessPool):
+                backend.run_fused(
+                    nxt, values, heads, "sum", False, "serial", 0, False
+                )
+            # every lease of the failed dispatch released, pool dropped
+            assert set(glob.glob("/dev/shm/psm_*")) - before == set()
+            assert backend._pool is None
+            # next dispatch: fresh pool, correct answer
+            out, _, _ = backend.run_fused(
+                nxt, values, heads, "sum", False, "serial", 0, False
+            )
+            np.testing.assert_array_equal(out, expect)
+            assert backend.pools_created == 2
+            assert set(glob.glob("/dev/shm/psm_*")) - before == set()
+        finally:
+            backend.close()
+
+    def test_engine_answers_through_quarantine_after_worker_death(self):
+        import os
+        import signal
+
+        rng = np.random.default_rng(1)
+        reqs = [
+            ScanRequest(lst=random_list(n, rng, values=random_values(n, rng)))
+            for n in (3000, 3100)
+        ]
+        with Engine(
+            executor="processes", max_workers=1, cache_capacity=0, seed=5
+        ) as engine:
+            # two same-size-class lists fuse and offload -> pool built
+            warm = engine.run_batch(
+                [ScanRequest(lst=random_list(n, rng)) for n in (400, 500)]
+            )
+            assert all(r.ok for r in warm)
+            assert engine._backend.pools_created == 1
+            for pid in self._worker_pids(engine._backend):
+                os.kill(pid, signal.SIGKILL)
+            responses = engine.run_batch(reqs)
+            # the fused attempt died with the pool; quarantine solos
+            # run inline in the parent and still answer every request
+            assert all(r.ok for r in responses)
+            assert engine.stats.retries == 1
+        with Engine(executor="sync", cache_capacity=0, seed=5) as ref:
+            for got, ref_resp in zip(responses, ref.run_batch(reqs)):
+                np.testing.assert_array_equal(got.result, ref_resp.result)

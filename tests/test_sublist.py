@@ -220,9 +220,25 @@ class TestChooseSplitters:
         assert 0 not in pos
         assert pos.size <= 39
 
-    def test_too_many_sublists_raises(self, rng):
-        with pytest.raises(ValueError, match="split"):
-            choose_splitters(5, 10, tail=0, strategy="random", rng=rng)
+    @pytest.mark.parametrize("strategy", ["spaced", "random", "random_competition"])
+    def test_too_many_sublists_clamps(self, rng, strategy):
+        # m > n: clamp to the n - 1 available non-tail positions instead
+        # of raising / returning empty sublists
+        pos = choose_splitters(5, 10, tail=0, strategy=strategy, rng=rng)
+        assert 1 <= pos.size <= 4
+        assert len(np.unique(pos)) == pos.size
+        assert 0 not in pos
+        assert np.all((pos > 0) & (pos < 5))
+
+    @pytest.mark.parametrize("strategy", ["spaced", "random", "random_competition"])
+    def test_single_node_list_no_splitters(self, rng, strategy):
+        pos = choose_splitters(1, 8, tail=0, strategy=strategy, rng=rng)
+        assert pos.size == 0
+
+    @pytest.mark.parametrize("strategy", ["spaced", "random", "random_competition"])
+    def test_two_node_list_single_splitter(self, rng, strategy):
+        pos = choose_splitters(2, 16, tail=1, strategy=strategy, rng=rng)
+        assert pos.tolist() == [0]
 
     def test_zero_splits(self, rng):
         pos = choose_splitters(10, 1, tail=0, strategy="spaced", rng=rng)
