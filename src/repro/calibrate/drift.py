@@ -28,6 +28,7 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..sanitize.runtime import guarded
 from .records import FitSample
 
 __all__ = ["DriftConfig", "DriftDetector", "DriftVerdict"]
@@ -133,7 +134,7 @@ class DriftDetector:
         ratio: float | None = None
         if predicted_ns is not None and predicted_ns > 0.0:
             ratio = (seconds * 1e9) / predicted_ns
-        with self._lock:
+        with guarded(self._lock, "drift.window"):
             state = self._state
             state.observations += 1
             state.window.append(sample)
@@ -152,7 +153,7 @@ class DriftDetector:
         consecutive-run refit trigger as duration alerts.
         """
         cfg = self.config
-        with self._lock:
+        with guarded(self._lock, "drift.window"):
             state = self._state
             state.observations += 1
             drifted = abs(observed - expected) > cfg.decay_tolerance
@@ -178,7 +179,7 @@ class DriftDetector:
 
     def samples(self) -> list[FitSample]:
         """The current refit window, oldest first."""
-        with self._lock:
+        with guarded(self._lock, "drift.window", "read"):
             return list(self._state.window)
 
     def reset(self) -> None:
@@ -187,11 +188,11 @@ class DriftDetector:
         Called after a recalibration: old observations were judged (and
         measured) against the previous profile.
         """
-        with self._lock:
+        with guarded(self._lock, "drift.window"):
             self._state = _DriftState(window=deque(maxlen=self.config.window))
 
     def snapshot(self) -> dict[str, int]:
-        with self._lock:
+        with guarded(self._lock, "drift.window", "read"):
             state = self._state
             return {
                 "observations": state.observations,

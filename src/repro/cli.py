@@ -17,6 +17,12 @@ Subcommands
               through a traced engine)
 ``lint``      run the project-invariant static analyzer (``repro.lint``)
               over source paths; exits non-zero on findings
+``sanitize``  run the concurrency & resource sanitizer suite
+              (``repro.sanitize``): the sanitizer-specific static rules
+              plus dynamic execution of any ``exercise()`` corpus files
+              under the happens-before race detector, resource ledger
+              and event-loop watchdog; exit 1 on violations, 2 on
+              usage/internal errors
 ``serve``     start the asyncio serving front-end (``repro.serve``):
               admits scan/rank requests over TCP into the engine's
               submission queue under an SLO-aware adaptive batch window
@@ -34,6 +40,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections.abc import Sequence
@@ -243,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog (name, scope, rationale) and exit",
+    )
+
+    p_sanitize = sub.add_parser(
+        "sanitize",
+        help="run the concurrency & resource sanitizer suite over paths",
+    )
+    p_sanitize.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to sanitize (default: src)",
+    )
+    p_sanitize.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (the CI artifact) "
+             "instead of the human listing",
+    )
+    p_sanitize.add_argument(
+        "--static-only", action="store_true",
+        help="skip the dynamic pass (don't import or run exercise() "
+             "corpus files found under the paths)",
     )
 
     p_serve = sub.add_parser(
@@ -869,6 +895,98 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code()
 
 
+#: the lint rules that belong to the sanitizer suite (the ``sanitize``
+#: subcommand's static pass); ``lint`` runs them too as part of its
+#: full catalog
+SANITIZER_RULES = (
+    "no-blocking-in-async",
+    "shm-unlink-all-paths",
+    "lock-guard-inference",
+)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .lint import get_rule, lint_paths
+    from .lint.runner import collect_files
+    from .sanitize.exercise import has_exercise, run_exercise
+
+    rules = [get_rule(name) for name in SANITIZER_RULES]
+    try:
+        static = lint_paths(args.paths, rules=rules, check_unused=False)
+        files = collect_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"sanitize: {exc}", file=sys.stderr)
+        return 2
+
+    dynamic = []
+    if not args.static_only:
+        for path in files:
+            if has_exercise(path):
+                dynamic.append(run_exercise(path))
+
+    errors = len(static.diagnostics)
+    warnings = 0
+    internal = 0
+    for result in dynamic:
+        if result.error:
+            internal += 1
+        for finding in result.findings:
+            if finding.severity == "error":
+                errors += 1
+            else:
+                warnings += 1
+
+    if args.json:
+        report = {
+            "paths": list(args.paths),
+            "rules": list(SANITIZER_RULES),
+            "static": [d.as_dict() for d in static.diagnostics],
+            "dynamic": [
+                {
+                    "path": str(r.path),
+                    "error": r.error,
+                    "findings": [
+                        {
+                            "check": f.check,
+                            "severity": f.severity,
+                            "message": f.message,
+                            "site": f.site,
+                        }
+                        for f in r.findings
+                    ],
+                }
+                for r in dynamic
+            ],
+            "errors": errors,
+            "warnings": warnings,
+            "internal_errors": internal,
+        }
+        print(json_mod.dumps(report, indent=2))
+    else:
+        for diag in sorted(static.diagnostics):
+            print(diag.format())
+        for result in dynamic:
+            for finding in result.findings:
+                print(
+                    f"{result.path}: [{finding.severity}] "
+                    f"{finding.check}: {finding.message}"
+                )
+            if result.error:
+                print(f"{result.path}: exercise failed: {result.error}")
+        exercised = sum(1 for r in dynamic if not r.error)
+        verdict = "clean" if not (errors or warnings) else "violations"
+        print(
+            f"sanitize: {verdict}: {len(files)} file(s), "
+            f"{len(rules)} static rule(s), {exercised} exercised, "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    if internal:
+        return 2
+    return 1 if errors else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import contextlib
@@ -1183,6 +1301,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "serve": _cmd_serve,
     "bench-client": _cmd_bench_client,
     "calibrate": _cmd_calibrate,
@@ -1193,6 +1312,33 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if os.environ.get("REPRO_SANITIZE") == "1" and args.command != "sanitize":
+        # CI smoke jobs set REPRO_SANITIZE=1 to run any subcommand under
+        # the resource sanitizer: a leaked /dev/shm segment (or handle,
+        # or lease reservation) turns a passing run into exit 1.  This
+        # replaces the old post-hoc `ls /dev/shm` greps, which could
+        # only see segments that outlived the process.
+        from .sanitize import sanitizers
+
+        with sanitizers(races=False, label=f"cli:{args.command}") as state:
+            code = _COMMANDS[args.command](args)
+        failures = state.failures()
+        if failures:
+            for finding in failures:
+                print(f"sanitize: {finding.check}: {finding.message}",
+                      file=sys.stderr)
+            print(
+                f"sanitize: {args.command!r} leaked resources "
+                f"({len(failures)} finding(s))",
+                file=sys.stderr,
+            )
+            return code or 1
+        print(
+            f"sanitize: resource sanitizer clean for {args.command!r} "
+            f"({state.summary()})",
+            file=sys.stderr,
+        )
+        return code
     return _COMMANDS[args.command](args)
 
 

@@ -10,13 +10,21 @@ them, blocking excess dispatchers until memory frees up.  Segment
 ``engine.workers`` export helpers into a per-task lease list and
 closed+unlinked in that task's ``finally`` — the gate only bounds how
 many such lists exist at once.
+
+The gate is instrumented for the sanitizer suite: reservations flow
+through the resource ledger (an admit without a matching return is a
+``lease-bytes`` leak at settlement), and the condition-variable wait
+uses :func:`~repro.sanitize.runtime.cv_wait` so the race detector sees
+the hidden release/reacquire inside ``Condition.wait``.
 """
 
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
 from collections.abc import Iterator
+from contextlib import contextmanager
+
+from ..sanitize.runtime import cv_wait, guarded, note_lease_admitted, note_lease_returned
 
 __all__ = ["LeaseGate"]
 
@@ -39,26 +47,28 @@ class LeaseGate:
 
     @property
     def outstanding_bytes(self) -> int:
-        with self._cv:
+        with guarded(self._cv, "lease.gate", "read"):
             return self._outstanding
 
     @property
     def peak_bytes(self) -> int:
         """High-water mark of reserved bytes (budget-compliance telemetry)."""
-        with self._cv:
+        with guarded(self._cv, "lease.gate", "read"):
             return self._peak
 
     @contextmanager
     def admit(self, nbytes: int) -> Iterator[None]:
         nbytes = max(0, int(nbytes))
-        with self._cv:
+        with guarded(self._cv, "lease.gate"):
             while self._outstanding > 0 and self._outstanding + nbytes > self.max_bytes:
-                self._cv.wait()
+                cv_wait(self._cv)
             self._outstanding += nbytes
             self._peak = max(self._peak, self._outstanding)
+        note_lease_admitted(nbytes)
         try:
             yield
         finally:
-            with self._cv:
+            with guarded(self._cv, "lease.gate"):
                 self._outstanding -= nbytes
                 self._cv.notify_all()
+            note_lease_returned(nbytes)

@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from ..lists.generate import INDEX_DTYPE
+from ..sanitize.runtime import note_memmap, note_memmap_flush
 
 __all__ = [
     "MemmapList",
@@ -87,6 +88,7 @@ def flush_range(arr: np.ndarray, lo: int, hi: int) -> None:
         return
     with suppress(Exception):
         raw.flush(start, length)
+        note_memmap_flush(arr)
 
 
 @dataclass(frozen=True)
@@ -141,9 +143,11 @@ def write_memmap_list(
     nxt_mm = np.memmap(
         directory / _NEXT_NAME, dtype=INDEX_DTYPE, mode="w+", shape=(n,)
     )
+    note_memmap(nxt_mm, str(directory / _NEXT_NAME), "w+")
     val_mm = np.memmap(
         directory / _VALUES_NAME, dtype=np.dtype(value_dtype), mode="w+", shape=(n,)
     )
+    note_memmap(val_mm, str(directory / _VALUES_NAME), "w+")
     rng = np.random.default_rng(seed)
     head = 0
     try:
@@ -201,9 +205,11 @@ def open_memmap_list(directory: str | Path, mode: str = "r") -> MemmapList:
     meta = json.loads((directory / _META_NAME).read_text())
     n = int(meta["n"])
     nxt = np.memmap(directory / _NEXT_NAME, dtype=INDEX_DTYPE, mode=mode, shape=(n,))
+    note_memmap(nxt, str(directory / _NEXT_NAME), mode)
     values = np.memmap(
         directory / _VALUES_NAME, dtype=np.dtype(meta["value_dtype"]), mode=mode, shape=(n,)
     )
+    note_memmap(values, str(directory / _VALUES_NAME), mode)
     return MemmapList(next=nxt, values=values, head=int(meta["head"]))
 
 
@@ -212,4 +218,6 @@ def create_output_memmap(
 ) -> np.memmap:
     """Writable output array on disk for an out-of-core scan."""
     path = Path(directory) / "out.dat"
-    return np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=(n,))
+    out = np.memmap(path, dtype=np.dtype(dtype), mode="w+", shape=(n,))
+    note_memmap(out, str(path), "w+")
+    return out

@@ -16,6 +16,7 @@ an ``np.memmap`` without ever materialising the whole thing.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,7 +60,9 @@ def plan_chunks(n: int, num_chunks: int) -> ChunkPlan:
 
 
 def find_entries(
-    nxt_reader, plan: ChunkPlan, heads: np.ndarray
+    nxt_reader: Callable[[int, int], np.ndarray],
+    plan: ChunkPlan,
+    heads: np.ndarray,
 ) -> list[np.ndarray]:
     """Per-chunk sorted global entry-node ids.
 

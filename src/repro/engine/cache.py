@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.operators import Operator, get_operator
 from ..lists.generate import LinkedList
+from ..sanitize.runtime import guarded
 
 __all__ = ["fingerprint", "ResultCache"]
 
@@ -93,17 +94,17 @@ class ResultCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        with self._lock:
+        with guarded(self._lock, "engine.cache", "read"):
             return len(self._entries)
 
     @property
     def stored_bytes(self) -> int:
-        with self._lock:
+        with guarded(self._lock, "engine.cache", "read"):
             return self._bytes
 
     def get(self, key: bytes) -> np.ndarray | None:
         """Look up a result; returns a fresh copy, or ``None`` on miss."""
-        with self._lock:
+        with guarded(self._lock, "engine.cache"):
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
@@ -120,7 +121,7 @@ class ResultCache:
         stored = np.ascontiguousarray(result).copy()
         if self.max_bytes is not None and stored.nbytes > self.max_bytes:
             return
-        with self._lock:
+        with guarded(self._lock, "engine.cache"):
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old.nbytes
@@ -142,7 +143,7 @@ class ResultCache:
         together with the entries (callers wanting cumulative numbers
         should snapshot :meth:`stats` before clearing).
         """
-        with self._lock:
+        with guarded(self._lock, "engine.cache"):
             self._entries.clear()
             self._bytes = 0
             self.hits = 0
@@ -151,7 +152,7 @@ class ResultCache:
 
     def stats(self) -> dict[str, int]:
         """Counters snapshot (hits/misses/evictions/entries/bytes)."""
-        with self._lock:
+        with guarded(self._lock, "engine.cache", "read"):
             return {
                 "hits": self.hits,
                 "misses": self.misses,

@@ -54,6 +54,7 @@ dispatch API, so the engine accepts *every* algorithm the library has.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -83,10 +84,20 @@ from .errors import (
 from .histogram import LatencyHistogram
 from .queue import ScanRequest, ScanResponse, SubmissionQueue
 from ..kernels.backend import resolve_backend
+from ..sanitize.runtime import (
+    atomic_read,
+    atomic_write,
+    guarded,
+    hb_join,
+    hb_publish,
+    note_engine_close,
+)
 from .router import CANDIDATES, Router
 from .workers import EXECUTORS, create_backend, run_fused_kernel, shippable_operator
 
 __all__ = ["Engine", "EngineStats"]
+
+_log = logging.getLogger(__name__)
 
 #: A contained per-request outcome: ``(algorithm, batch_lists, result)``
 #: on success, a :class:`RequestError` on failure.
@@ -476,9 +487,13 @@ class Engine:
         )
         responses = [self._failure(req, error) for req in pending]
         if responses:
-            with self._lock:
+            with guarded(self._lock, "engine.stats"):
                 self.stats.errors += len(responses)
         self._backend.close()
+        # leak report: with a sanitizer active, teardown is the moment
+        # every segment/lease must have been returned
+        for leak in note_engine_close():
+            _log.warning("sanitizer leak at Engine.close(): %s", leak.describe())
         return responses
 
     def __enter__(self) -> "Engine":
@@ -519,13 +534,15 @@ class Engine:
         # new table must be visible before predictions switch to it
         self._calibration = profile
         self._drift = detector
+        atomic_write("engine.calibration")
         self.router.set_costs(profile.costs)
         if _count:
-            with self._lock:
+            with guarded(self._lock, "engine.stats"):
                 self.stats.recalibrations += 1
 
     def calibration_snapshot(self) -> dict[str, Any]:
         """JSON-safe calibration/drift health view (for ``/stats``)."""
+        atomic_read("engine.calibration")
         profile = self._calibration
         detector = self._drift
         snap: dict[str, Any] = {"active": profile is not None}
@@ -545,6 +562,7 @@ class Engine:
         (``trace.compare``'s ``decay_ratio``); ``expected`` the model's
         ``e^(−m·s₁/n)``.  No-op while no fitted profile is active.
         """
+        atomic_read("engine.calibration")
         detector = self._drift
         if detector is None:
             return
@@ -576,6 +594,7 @@ class Engine:
         seed the new window with stale timings and could trigger a
         spurious alert/auto-refit right after a profile install.
         """
+        atomic_read("engine.calibration")
         detector = self._drift
         profile = self._calibration
         if detector is None or profile is None:
@@ -598,12 +617,13 @@ class Engine:
         self, verdict: Any, detector: "DriftDetector | None" = None
     ) -> None:
         if verdict.alert:
-            with self._lock:
+            with guarded(self._lock, "engine.stats"):
                 self.stats.drift_alerts += 1
         if not verdict.refit:
             return
         from ..calibrate import FitError, fit_profile
 
+        atomic_read("engine.calibration")
         if detector is None:
             detector = self._drift
         profile = self._calibration
@@ -672,6 +692,9 @@ class Engine:
             followers: dict[int, list[ScanRequest]] = {}  # primary -> dups
             with span("admit"):
                 for req in requests:
+                    # order this thread after the submitter (queue
+                    # handoff edge for the race detector)
+                    hb_join(("request", req.request_id))
                     if req.submitted_at is not None:
                         wait = max(0.0, t0 - req.submitted_at)
                         queue_waits.append(wait)
@@ -744,23 +767,24 @@ class Engine:
                             )
 
             shards = list(shard_requests(misses, self.size_class_base).values())
+
+            def _run_shard(shard: list[ScanRequest]) -> list[_Outcome]:
+                outcomes = self._execute_shard_contained(shard, parent=batch_span)
+                # future-resolution edge: the driver thread's work
+                # happens-before the respond loop that consumes it
+                hb_publish(("shard", id(shard)))
+                return outcomes
+
             if parallel:
                 # the backend's persistent pool (lazily created on the
                 # first multi-shard batch, reused for every one after)
-                shard_results = self._backend.map_shards(
-                    lambda shard: self._execute_shard_contained(
-                        shard, parent=batch_span
-                    ),
-                    shards,
-                )
+                shard_results = self._backend.map_shards(_run_shard, shards)
             else:
-                shard_results = [
-                    self._execute_shard_contained(shard, parent=batch_span)
-                    for shard in shards
-                ]
+                shard_results = [_run_shard(shard) for shard in shards]
 
             with span("respond"):
                 for shard, outcomes in zip(shards, shard_results):
+                    hb_join(("shard", id(shard)))
                     for req, outcome in zip(shard, outcomes):
                         if isinstance(outcome, RequestError):
                             n_errors += 1
@@ -802,7 +826,7 @@ class Engine:
                             responses[dup.request_id] = dup_resp
 
         elapsed = self.clock() - t0
-        with self._lock:
+        with guarded(self._lock, "engine.stats"):
             self.stats.requests += len(requests)
             self.stats.batches += 1
             self.stats.shards += len(shards)
@@ -828,13 +852,25 @@ class Engine:
         calls this when the reply is written; the engine itself only
         observes the ``queue_wait`` and ``execute`` sub-phases.
         """
-        with self._lock:
+        with guarded(self._lock, "engine.stats"):
             self.stats.latency["total"].observe(seconds)
 
     def observe_shed(self, count: int = 1) -> None:
         """Count requests rejected before queueing (overload/rate limits)."""
-        with self._lock:
+        with guarded(self._lock, "engine.stats"):
             self.stats.shed += count
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Thread-safe counter snapshot.
+
+        The serving layer's flush worker mutates the counters while the
+        event loop renders ``/stats``; reading through the engine lock
+        is the supported cross-thread view (reading ``engine.stats``
+        directly from another thread is a race, and the sanitizer's
+        race detector reports it as one).
+        """
+        with guarded(self._lock, "engine.stats", "read"):
+            return self.stats.snapshot()
 
     # ------------------------------------------------------------------
     # conveniences
@@ -902,7 +938,7 @@ class Engine:
         )
 
     def _child_rng(self) -> np.random.Generator:
-        with self._lock:
+        with guarded(self._lock, "engine.seeds"):
             (child,) = self._seeds.spawn(1)
         return np.random.default_rng(child)
 
@@ -938,7 +974,7 @@ class Engine:
                 kernel_backend=self.kernel_backend,
             )
         elapsed = self.clock() - t0
-        with self._lock:
+        with guarded(self._lock, "engine.stats"):
             self.stats.solo_runs += 1
             self.stats.count_algorithm(algorithm)
             self.stats.merge_kernel_stats(kstats)
@@ -975,14 +1011,14 @@ class Engine:
             except Exception as exc:
                 if len(shard) == 1:
                     # the fused attempt *was* the solo run; quarantine now
-                    with self._lock:
+                    with guarded(self._lock, "engine.stats"):
                         self.stats.quarantined += 1
                     return [
                         RequestError.from_exception(
                             exc, code="execution", phase="execute"
                         )
                     ]
-                with self._lock:
+                with guarded(self._lock, "engine.stats"):
                     self.stats.retries += 1
                 outcomes: list[_Outcome] = []
                 with span("quarantine_retry", lists=len(shard)):
@@ -991,7 +1027,7 @@ class Engine:
                             algorithm, result = self._solo_scan(req)
                             outcomes.append((algorithm, 1, result))
                         except Exception as solo_exc:
-                            with self._lock:
+                            with guarded(self._lock, "engine.stats"):
                                 self.stats.quarantined += 1
                             outcomes.append(
                                 RequestError.from_exception(
@@ -1122,7 +1158,7 @@ class Engine:
                 )
         elapsed = self.clock() - t0
         results = batch.unfuse(out)
-        with self._lock:
+        with guarded(self._lock, "engine.stats"):
             self.stats.fused_lists += batch.n_lists
             self.stats.fused_nodes += batch.n_nodes
             self.stats.count_algorithm(algorithm, batch.n_lists)
@@ -1176,7 +1212,7 @@ class Engine:
                 report=report,
             )
         results = batch.unfuse(out)
-        with self._lock:
+        with guarded(self._lock, "engine.stats"):
             self.stats.fused_lists += batch.n_lists
             self.stats.fused_nodes += batch.n_nodes
             self.stats.distributed_runs += 1

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.operators import Operator, SUM, get_operator
+from ..sanitize.runtime import hb_publish
 from ..lists.generate import LinkedList
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids a cycle)
@@ -264,6 +265,9 @@ class SubmissionQueue:
             request.submitted_at = self.clock()
             self._items.append(request)
             self._nodes += request.n
+            # handoff edge: everything the submitter did to the request
+            # happens-before the engine thread that drains it
+            hb_publish(("request", request.request_id))
             self._cond.notify_all()
             return request.request_id
 

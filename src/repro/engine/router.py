@@ -39,6 +39,7 @@ import math
 from ..analysis.cost_model import KernelCosts, PAPER_C90_COSTS
 from ..analysis.predict import predict_run
 from ..kernels.backend import KernelBackend, resolve_backend
+from ..sanitize.runtime import atomic_read, atomic_write
 
 __all__ = ["Router", "route_algorithm", "DEFAULT_SERIAL_BELOW", "default_router"]
 
@@ -150,6 +151,7 @@ class Router:
         if costs is not None and scale_backend:
             costs = resolve_backend(self.kernel_backend).scaled_costs(costs)
         self._state = _RouterState(costs)
+        atomic_write("router.state")
 
     def _predicted(
         self, costs: KernelCosts, n: int, algorithm: str, n_lists: int
@@ -183,6 +185,7 @@ class Router:
         """The cheapest candidate for ``n`` nodes over ``n_lists`` lists."""
         n = int(n)
         n_lists = max(int(n_lists), 1)
+        atomic_read("router.state")
         state = self._state  # one snapshot: costs + cache stay paired
         if state.costs is None:
             return "serial" if n < self.serial_below else "sublist"

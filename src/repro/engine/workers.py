@@ -61,6 +61,7 @@ from ..core.operators import BUILTIN_OPERATORS, Operator, get_operator
 from ..core.stats import ScanStats
 from ..kernels.backend import KernelBackend, resolve_backend
 from ..kernels.pairs import PairSpec, operator_from_pair, pair_for
+from ..sanitize import runtime as sanitize
 from ..trace.tracer import Tracer
 
 __all__ = [
@@ -466,6 +467,7 @@ class ThreadBackend(ExecutionBackend):
                     thread_name_prefix="repro-engine",
                 )
                 self.pools_created += 1
+                sanitize.note_pool(self._pool, "threads")
             return self._pool
 
     def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> list[Any]:
@@ -474,9 +476,11 @@ class ThreadBackend(ExecutionBackend):
         return list(self._ensure_pool().map(fn, shards))
 
     def _shutdown(self) -> None:
-        pool, self._pool = self._pool, None
+        with self._lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+            sanitize.note_pool_closed(pool)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -517,6 +521,7 @@ class ProcessBackend(ExecutionBackend):
                     max_workers=self.max_workers, mp_context=_pool_mp_context()
                 )
                 self.pools_created += 1
+                sanitize.note_pool(self._pool, "processes")
             return self._pool
 
     def _ensure_driver(self) -> ThreadPoolExecutor:
@@ -527,6 +532,7 @@ class ProcessBackend(ExecutionBackend):
                     max_workers=self.max_workers,
                     thread_name_prefix="repro-engine-driver",
                 )
+                sanitize.note_pool(self._driver, "driver-threads")
             return self._driver
 
     def map_shards(self, fn: Callable[[Any], Any], shards: Sequence[Any]) -> list[Any]:
@@ -550,6 +556,7 @@ class ProcessBackend(ExecutionBackend):
                 broken, self._pool = self._pool, None
             if broken is not None:
                 broken.shutdown(wait=False, cancel_futures=True)
+                sanitize.note_pool_closed(broken)
             raise
 
     def run_fused(
@@ -605,12 +612,15 @@ class ProcessBackend(ExecutionBackend):
             _release(leases, unlink=True)
 
     def _shutdown(self) -> None:
-        pool, self._pool = self._pool, None
-        driver, self._driver = self._driver, None
+        with self._lock:
+            pool, self._pool = self._pool, None
+            driver, self._driver = self._driver, None
         if driver is not None:
             driver.shutdown(wait=True)
+            sanitize.note_pool_closed(driver)
         if pool is not None:
             pool.shutdown(wait=True)
+            sanitize.note_pool_closed(pool)
 
 
 def shippable_operator(

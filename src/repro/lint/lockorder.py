@@ -202,10 +202,18 @@ class CheckedLock:
             except LockOrderError:
                 self._inner.release()  # repolint: disable=lock-with-only
                 raise
+            # feed the sanitizer's happens-before model too: a module
+            # under instrumented_locks gets its lock edges for free
+            from ..sanitize.runtime import lock_acquired
+
+            lock_acquired(self)
         return got
 
     def release(self) -> None:
         self._graph.record_release(self.name)
+        from ..sanitize.runtime import lock_released
+
+        lock_released(self)
         self._inner.release()  # repolint: disable=lock-with-only
 
     def locked(self) -> bool:

@@ -22,6 +22,20 @@ that a regression would break silently:
 ``fingerprint-keyed-cache``
     a result cached under anything but the blessed structural
     fingerprint is a cache-poisoning hazard.
+
+The sanitizer suite (PR 10) added three cross-function rules — static
+counterparts to the dynamic detectors in ``repro.sanitize``:
+
+``no-blocking-in-async``
+    a blocking call inside an ``async def`` freezes every connection
+    the serve loop multiplexes, not just the caller.
+``shm-unlink-all-paths``
+    a statement that can raise between ``SharedMemory(create=True)``
+    and the try/finally (or lease-list transfer) that owns the segment
+    leaks it on exactly the paths the finally was written for.
+``lock-guard-inference``
+    an attribute mutated both under and outside a ``with lock:`` block
+    means one of the two sites is wrong about the locking discipline.
 """
 
 from __future__ import annotations
@@ -36,9 +50,12 @@ __all__ = [
     "ExplicitDtypeRule",
     "FingerprintKeyedCacheRule",
     "InjectableClockRule",
+    "LockGuardInferenceRule",
     "LockWithOnlyRule",
+    "NoBlockingInAsyncRule",
     "NoForkRule",
     "ShmLifecycleRule",
+    "ShmUnlinkAllPathsRule",
 ]
 
 
@@ -225,6 +242,7 @@ class InjectableClockRule(Rule):
         "*/trace/*.py",
         "*/serve/*.py",
         "*/calibrate/*.py",
+        "*/distribute/*.py",
     )
 
     _CLOCKS = frozenset(
@@ -280,6 +298,7 @@ class ExplicitDtypeRule(Rule):
         "*/analysis/*.py",
         "*/kernels/*.py",
         "*/bench/*.py",
+        "*/distribute/*.py",
     )
 
     #: constructor name -> number of positional args after which the
@@ -410,3 +429,396 @@ class FingerprintKeyedCacheRule(Rule):
         ):
             return True
         return False
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes belonging to ``fn``'s own body, not to nested functions
+    (a blocking call inside a nested def does not run on ``fn``'s
+    caller unless something invokes it — that call site is analyzed
+    separately)."""
+    todo = list(ast.iter_child_nodes(fn))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def _dotted_text(node: ast.expr | None) -> str:
+    """Flatten a Name/Attribute chain to dotted text (best effort)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+@register
+class NoBlockingInAsyncRule(Rule):
+    """No blocking calls inside ``async def`` — directly or one hop
+    away through a sync helper in the same module."""
+
+    name = "no-blocking-in-async"
+    rationale = (
+        "the serve loop multiplexes every connection on one thread; a "
+        "single blocking call inside an async def freezes all of them "
+        "at once (the stall watchdog catches this at runtime, this "
+        "rule catches it in review)"
+    )
+    hint = (
+        "cross into a thread with loop.run_in_executor/asyncio.to_thread, "
+        "or use the async equivalent (asyncio.sleep, non-blocking "
+        "submit(block=False))"
+    )
+
+    _TIME_BLOCKERS = frozenset({"sleep"})
+    _OS_BLOCKERS = frozenset({"system", "waitpid", "wait"})
+    _SUBPROCESS_BLOCKERS = frozenset({"run", "call", "check_call", "check_output"})
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        time_sleeps = self._imported_time_sleeps(context.tree)
+        helpers = self._blocking_helpers(context.tree, time_sleeps)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for sub in _own_nodes(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                reason = self._blocking_reason(sub, time_sleeps)
+                if reason is None:
+                    helper = self._helper_target(sub)
+                    if helper is not None and helper in helpers:
+                        reason = (
+                            f"{helper}() blocks ({helpers[helper]} inside it); "
+                            "called from an async def"
+                        )
+                if reason is not None:
+                    yield self.diagnostic(
+                        context,
+                        sub,
+                        f"blocking call in async def {node.name}: {reason}",
+                    )
+
+    def _imported_time_sleeps(self, tree: ast.Module) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._TIME_BLOCKERS:
+                        out.add(alias.asname or alias.name)
+        return out
+
+    def _blocking_reason(self, call: ast.Call, time_sleeps: set[str]) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in time_sleeps:
+                return "time.sleep()"
+            if func.id == "input":
+                return "input()"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = func.value
+        if isinstance(recv, ast.Name):
+            if recv.id == "time" and func.attr in self._TIME_BLOCKERS:
+                return "time.sleep()"
+            if recv.id == "os" and func.attr in self._OS_BLOCKERS:
+                return f"os.{func.attr}()"
+            if recv.id == "subprocess" and func.attr in self._SUBPROCESS_BLOCKERS:
+                return f"subprocess.{func.attr}()"
+        if func.attr == "result" and not call.args and not call.keywords:
+            return ".result() on a future (await it instead)"
+        if func.attr == "run_batch":
+            return "Engine.run_batch() runs kernels on the event loop"
+        if func.attr == "submit" and "queue" in _dotted_text(recv):
+            block = _keyword(call, "block")
+            if not (isinstance(block, ast.Constant) and block.value is False):
+                return "queue .submit() may block on backpressure; pass block=False"
+        return None
+
+    def _blocking_helpers(
+        self, tree: ast.Module, time_sleeps: set[str]
+    ) -> dict[str, str]:
+        """Sync functions in this module whose bodies block directly —
+        the one-hop cross-function half of the rule."""
+        out: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            for sub in _own_nodes(node):
+                if isinstance(sub, ast.Call):
+                    reason = self._blocking_reason(sub, time_sleeps)
+                    if reason is not None:
+                        out[node.name] = reason
+                        break
+        return out
+
+    @staticmethod
+    def _helper_target(call: ast.Call) -> str | None:
+        """`helper()` or `self.helper()` — names resolvable in-module."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return func.attr
+        return None
+
+
+@register
+class ShmUnlinkAllPathsRule(Rule):
+    """The unlink of a created segment must dominate every exit path:
+    nothing that can raise may sit between ``SharedMemory(create=True)``
+    and the try/finally (or lease transfer) that owns the segment."""
+
+    name = "shm-unlink-all-paths"
+    rationale = (
+        "shm-lifecycle proves an owner exists; this rule proves the "
+        "owner is reached on every path — a call that raises between "
+        "segment creation and the protecting try/finally leaks the "
+        "segment on exactly the error paths the finally was written for"
+    )
+    hint = (
+        "move the creation to the last statement before the try (or "
+        "append it to the lease list immediately); do the risky work "
+        "inside the protected region"
+    )
+
+    _RISKY_STMTS = (ast.Return, ast.Raise, ast.If, ast.For, ast.While,
+                    ast.Break, ast.Continue, ast.With, ast.Match)
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for call in _calls(context.tree):
+            if _call_name(call) != "SharedMemory":
+                continue
+            create = _keyword(call, "create")
+            if not (isinstance(create, ast.Constant) and create.value is True):
+                continue
+            parent = context.parent(call)
+            if not (
+                isinstance(parent, ast.Assign)
+                and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)
+            ):
+                continue  # with-item or unowned: shm-lifecycle's domain
+            bound = parent.targets[0].id
+            if self._born_protected(context, parent, bound):
+                continue
+            suite = self._enclosing_suite(context, parent)
+            if suite is None:
+                continue
+            risky = self._gap_risk(suite, parent, bound)
+            if risky is not None:
+                yield self.diagnostic(
+                    context,
+                    risky,
+                    f"statement between SharedMemory(create=True) -> {bound} "
+                    "and its protecting try/finally can raise and leak the "
+                    "segment",
+                )
+
+    @staticmethod
+    def _mentions(node: ast.AST, bound: str) -> bool:
+        return any(
+            isinstance(sub, ast.Name) and sub.id == bound for sub in ast.walk(node)
+        )
+
+    def _born_protected(
+        self, context: LintContext, assign: ast.Assign, bound: str
+    ) -> bool:
+        """Creation already inside a try whose finally mentions the
+        binding (owner wraps the birth)."""
+        cur: ast.AST | None = assign
+        while cur is not None:
+            parent = context.parent(cur)
+            if (
+                isinstance(parent, ast.Try)
+                and parent.finalbody
+                and any(cur is stmt or _contains_node(stmt, cur) for stmt in parent.body)
+                and any(self._mentions(stmt, bound) for stmt in parent.finalbody)
+            ):
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            cur = parent
+        return False
+
+    @staticmethod
+    def _enclosing_suite(context: LintContext, stmt: ast.stmt) -> list[ast.stmt] | None:
+        parent = context.parent(stmt)
+        if parent is None:
+            return None
+        for field_name in ("body", "orelse", "finalbody"):
+            suite = getattr(parent, field_name, None)
+            if isinstance(suite, list) and stmt in suite:
+                return suite
+        return None
+
+    def _gap_risk(
+        self, suite: list[ast.stmt], assign: ast.stmt, bound: str
+    ) -> ast.stmt | None:
+        """First risky statement between the creation and its protector,
+        or None when the protector comes first (or never appears — then
+        shm-lifecycle owns the verdict)."""
+        start = suite.index(assign) + 1
+        tail = suite[start:]
+        if not any(self._is_protector(stmt, bound) for stmt in tail):
+            return None  # no owner anywhere: shm-lifecycle's verdict
+        for stmt in tail:
+            if self._is_protector(stmt, bound):
+                return None
+            if isinstance(stmt, self._RISKY_STMTS):
+                return stmt
+            if self._is_transfer(stmt, bound):
+                continue
+            if any(isinstance(sub, ast.Call) for sub in ast.walk(stmt)):
+                return stmt
+        return None
+
+    def _is_protector(self, stmt: ast.stmt, bound: str) -> bool:
+        if self._is_transfer(stmt, bound):
+            return True
+        return (
+            isinstance(stmt, ast.Try)
+            and bool(stmt.finalbody)
+            and self._mentions(stmt, bound)
+        )
+
+    @staticmethod
+    def _is_transfer(stmt: ast.stmt, bound: str) -> bool:
+        """``leases.append(shm)`` — ownership handed to a lease list."""
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and _call_name(stmt.value) == "append"
+            and len(stmt.value.args) == 1
+            and isinstance(stmt.value.args[0], ast.Name)
+            and stmt.value.args[0].id == bound
+        )
+
+
+@register
+class LockGuardInferenceRule(Rule):
+    """An attribute mutated both under and outside a ``with lock:``
+    block is evidence that one of the sites forgot the lock."""
+
+    name = "lock-guard-inference"
+    rationale = (
+        "the locking discipline for shared attributes is implicit in "
+        "the with-blocks around their writes; a class that mutates the "
+        "same attribute both under a lock and bare has (at least) one "
+        "site racing the others — the dynamic race detector proves it "
+        "at runtime, this rule flags it from the source alone"
+    )
+    hint = (
+        "wrap the bare mutation in the same `with lock:` (or `with "
+        "guarded(lock, ...):`) the other sites use, or document the "
+        "attribute as single-threaded and stop locking it elsewhere"
+    )
+    paths = (
+        "*/engine/*.py",
+        "*/serve/*.py",
+        "*/distribute/*.py",
+        "*/calibrate/*.py",
+    )
+
+    _CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+    _LOCKISH = ("lock", "mutex", "cv", "cond", "guard", "gate")
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+
+    def _check_class(
+        self, context: LintContext, cls: ast.ClassDef
+    ) -> Iterable[Diagnostic]:
+        locked: dict[str, list[ast.AST]] = {}
+        bare: dict[str, list[ast.AST]] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in self._CONSTRUCTORS:
+                continue
+            for site, attr in self._self_mutations(method):
+                bucket = locked if self._under_lock(context, site, method) else bare
+                bucket.setdefault(attr, []).append(site)
+        for attr, sites in sorted(bare.items()):
+            if attr not in locked:
+                continue
+            for site in sites:
+                yield self.diagnostic(
+                    context,
+                    site,
+                    f"self.{attr} is mutated here without the lock that "
+                    f"guards its other mutation sites in {cls.name}",
+                )
+
+    def _self_mutations(
+        self, method: ast.AST
+    ) -> Iterator[tuple[ast.AST, str]]:
+        for node in _own_nodes(method):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Tuple):
+                    for elt in target.elts:
+                        attr = self._self_attr(elt)
+                        if attr is not None:
+                            yield node, attr
+                else:
+                    attr = self._self_attr(target)
+                    if attr is not None:
+                        yield node, attr
+
+    @staticmethod
+    def _self_attr(target: ast.expr) -> str | None:
+        # `self.x = ...` and `self.x[...] = ...` both mutate x
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    def _under_lock(
+        self, context: LintContext, site: ast.AST, method: ast.AST
+    ) -> bool:
+        for anc in context.ancestors(site):
+            if anc is method:
+                return False
+            # sync with-blocks only: `async with` guards the event loop's
+            # cooperative tasks, not cross-thread attribute access
+            if isinstance(anc, ast.With) and any(
+                self._lockish(item.context_expr) for item in anc.items
+            ):
+                return True
+        return False
+
+    def _lockish(self, expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            ident = ""
+            if isinstance(node, ast.Name):
+                ident = node.id
+            elif isinstance(node, ast.Attribute):
+                ident = node.attr
+            lowered = ident.lower()
+            if lowered and any(token in lowered for token in self._LOCKISH):
+                return True
+        return False
+
+
+def _contains_node(root: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in ast.walk(root))

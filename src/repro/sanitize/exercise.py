@@ -1,0 +1,77 @@
+"""Dynamic half of ``repro-c90 sanitize``: run violation fixtures.
+
+A *fixture* here is any Python file exposing a top-level ``exercise()``
+function.  The CLI discovers them in the scanned paths, imports each by
+file path, and calls ``exercise()`` inside a fresh ``sanitizers()``
+scope; whatever the detectors observe (races, leaks, stalls) becomes
+findings.  The clean source tree ships no ``exercise()`` functions, so
+the dynamic pass contributes nothing there — the seeded corpus under
+``tests/fixtures/sanitize_bad/`` is where each detector proves it still
+fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .runtime import Finding, sanitizers
+
+__all__ = ["ExerciseResult", "has_exercise", "run_exercise"]
+
+#: keep stall thresholds short for fixtures: a seeded blocking call
+#: sleeps ~10x this, so detection is robust without slowing the gate
+_FIXTURE_STALL_THRESHOLD = 0.08
+
+
+@dataclass
+class ExerciseResult:
+    """Findings from running one fixture's ``exercise()``."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    error: str | None = None
+
+
+def has_exercise(path: str | Path) -> bool:
+    """Does this file define a module-level ``exercise`` function?"""
+    try:
+        tree = ast.parse(Path(path).read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return False
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == "exercise"
+        for node in tree.body
+    )
+
+
+def run_exercise(path: str | Path) -> ExerciseResult:
+    """Import ``path`` and run its ``exercise()`` under the sanitizers."""
+    path = Path(path)
+    result = ExerciseResult(path=str(path))
+    module_name = f"_repro_sanitize_fixture_{abs(hash(str(path.resolve())))}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        result.error = "could not load module"
+        return result
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        with sanitizers(
+            label=f"exercise:{path.name}", watchdog_threshold=_FIXTURE_STALL_THRESHOLD
+        ) as state:
+            spec.loader.exec_module(module)
+            fn = getattr(module, "exercise", None)
+            if not callable(fn):
+                result.error = "no callable exercise()"
+                return result
+            fn()
+        result.findings = state.findings()
+    except Exception as exc:  # fixture bugs become findings, not crashes
+        result.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        sys.modules.pop(module_name, None)
+    return result

@@ -1,0 +1,43 @@
+"""Pytest plugin: run every test inside the sanitizer suite.
+
+Enable with ``pytest -p repro.sanitize.pytest_plugin`` (the CI
+``sanitize`` job does this for the concurrency, serve, and distribute
+suites).  Each test gets a fresh :func:`~repro.sanitize.runtime.
+sanitizers` scope; after the test body passes, the plugin fails it if
+the race detector reported an unordered pair or the resource ledger
+shows a hard leak (a shared-memory segment never unlinked, an attach
+never closed, lease bytes never returned) — this is the machine-checked
+replacement for CI's old ``/dev/shm`` greps.
+
+Soft observations (still-open pools/memmaps at test end, event-loop
+stalls) surface as pytest warnings: module-scoped fixtures legitimately
+hold pools across tests, and stall timing on shared CI runners is not a
+per-test verdict.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterator
+
+import pytest
+
+from .runtime import SanitizerState, sanitizers
+
+
+class SanitizerViolation(AssertionError):
+    """A test completed but left races or hard resource leaks behind."""
+
+
+@pytest.fixture(autouse=True)
+def _repro_sanitizers() -> Iterator[SanitizerState]:
+    with sanitizers(label="pytest") as state:
+        yield state
+    failures = state.failures()
+    if failures:
+        details = "\n".join(f"  [{f.check}] {f.message}" for f in failures)
+        raise SanitizerViolation(
+            f"sanitizers reported {len(failures)} violation(s):\n{details}"
+        )
+    for finding in state.warnings():
+        warnings.warn(f"[sanitize:{finding.check}] {finding.message}", stacklevel=1)

@@ -1,0 +1,80 @@
+"""Event-loop stall watchdog for the asyncio serving front-end.
+
+The serve layer's contract is that nothing blocks the loop: engine
+work crosses into the flush executor, connection I/O awaits.  A single
+``time.sleep`` or in-line ``engine.run_batch`` freezes every client at
+once — the static ``no-blocking-in-async`` rule catches the obvious
+spellings, and this watchdog catches the rest at runtime.
+
+A heartbeat coroutine sleeps for ``interval`` and measures how late it
+wakes; lateness beyond ``threshold`` means something held the loop
+that long, and a :class:`StallReport` is filed.  The clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["LoopWatchdog", "StallReport"]
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """The event loop failed to schedule a sleep(interval) on time."""
+
+    stalled_for: float
+    threshold: float
+
+    def describe(self) -> str:
+        return (
+            f"event loop stalled for {self.stalled_for * 1000.0:.0f} ms "
+            f"(threshold {self.threshold * 1000.0:.0f} ms): something "
+            "blocking inside an async def"
+        )
+
+
+class LoopWatchdog:
+    """Heartbeat task measuring event-loop scheduling latency."""
+
+    def __init__(
+        self,
+        interval: float = 0.02,
+        threshold: float = 0.25,
+        clock: Callable[[], float] | None = None,
+        on_stall: Callable[[StallReport], None] | None = None,
+    ) -> None:
+        self.interval = interval
+        self.threshold = threshold
+        self._clock = clock if clock is not None else time.perf_counter
+        self._on_stall = on_stall
+        self.stalls: list[StallReport] = []
+        self.beats = 0
+        self._task: asyncio.Task[None] | None = None
+
+    def start(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        if self._task is not None:
+            return
+        if loop is None:
+            loop = asyncio.get_running_loop()
+        self._task = loop.create_task(self._run(), name="sanitize-watchdog")
+
+    async def _run(self) -> None:
+        while True:
+            before = self._clock()
+            await asyncio.sleep(self.interval)
+            self.beats += 1
+            late = self._clock() - before - self.interval
+            if late > self.threshold:
+                report = StallReport(stalled_for=late + self.interval, threshold=self.threshold)
+                self.stalls.append(report)
+                if self._on_stall is not None:
+                    self._on_stall(report)
+
+    def stop(self) -> None:
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()

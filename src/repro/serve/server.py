@@ -53,6 +53,7 @@ from typing import Any
 from ..engine.engine import Engine
 from ..engine.errors import RequestError
 from ..engine.queue import BackpressureError, QueueClosedError, ScanResponse
+from ..sanitize.runtime import start_loop_watchdog
 from ..trace.tracer import Tracer, null_span, resolve_trace
 from .config import ServeConfig
 from .fairness import ClientGovernor
@@ -199,6 +200,7 @@ class ScanServer:
             max_workers=1, thread_name_prefix="serve-flush"
         )
         self._flush_ema: float | None = None
+        self._watchdog: Any = None
         self._running = False
 
     # ------------------------------------------------------------------
@@ -222,6 +224,9 @@ class ScanServer:
         self._flush_task = asyncio.create_task(self._flush_loop())
         if self.config.stats_interval > 0:
             self._stats_task = asyncio.create_task(self._stats_loop())
+        # no-op unless a sanitizer scope is active (CI sanitize job,
+        # pytest plugin): measures event-loop scheduling stalls
+        self._watchdog = start_loop_watchdog()
         return self
 
     async def wait_closed(self) -> None:
@@ -264,6 +269,9 @@ class ScanServer:
         for conn in list(self._conns.values()):
             conn.close()
         self._conns.clear()
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         self._executor.shutdown(wait=True)
         self._stopped.set()
 
@@ -608,7 +616,9 @@ class ScanServer:
         the static paper table); see ``docs/calibration.md``.
         """
         return {
-            "engine": self.engine.stats.snapshot(),
+            # locked snapshot: the flush worker thread mutates these
+            # counters concurrently with the event loop rendering them
+            "engine": self.engine.stats_snapshot(),
             "calibration": self.engine.calibration_snapshot(),
             "server": {
                 **self.counters,

@@ -1,0 +1,18 @@
+"""Bad fixture: blocking calls inside an ``async def``.
+
+Expected finding: ``no-blocking-in-async`` — ``time.sleep`` freezes
+every connection multiplexed on the loop, directly at the call site and
+one hop away through the sync ``warm_up`` helper.
+"""
+
+import time
+
+
+def warm_up():
+    time.sleep(0.2)
+
+
+async def handler(payload):
+    time.sleep(0.1)
+    warm_up()
+    return payload

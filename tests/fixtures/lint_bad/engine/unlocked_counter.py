@@ -1,0 +1,21 @@
+"""Bad fixture: an attribute mutated both under and outside its lock.
+
+Expected finding: ``lock-guard-inference`` — ``record`` protects
+``self.completed`` with the lock, ``reset`` mutates it bare, so one of
+the two sites is racing the other.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.completed = 0
+
+    def record(self, n):
+        with self._lock:
+            self.completed += n
+
+    def reset(self):
+        self.completed = 0

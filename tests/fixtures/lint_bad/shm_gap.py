@@ -1,0 +1,20 @@
+"""Bad fixture: a raising statement between segment creation and owner.
+
+Expected finding: ``shm-unlink-all-paths`` — ``validate(data)`` sits
+between ``SharedMemory(create=True)`` and the try/finally that unlinks
+the segment; if it raises, the segment leaks on exactly the error path
+the finally was written for.
+"""
+
+from multiprocessing import shared_memory
+
+
+def export(data, validate):
+    shm = shared_memory.SharedMemory(create=True, size=len(data))
+    validate(data)  # can raise: nothing owns the segment yet
+    try:
+        shm.buf[: len(data)] = data
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()

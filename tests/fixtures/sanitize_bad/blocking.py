@@ -1,0 +1,31 @@
+"""Seeded violation: a coroutine that blocks the event loop.
+
+``handler`` calls ``time.sleep`` inside an ``async def``.  The static
+``no-blocking-in-async`` rule flags the call site; dynamically, the
+loop watchdog's heartbeat wakes ~400 ms late — far past the fixture
+stall threshold — and files a :class:`StallReport`.
+"""
+
+import asyncio
+import time
+
+from repro.sanitize import start_loop_watchdog
+
+
+async def handler() -> None:
+    time.sleep(0.4)
+
+
+async def _main() -> None:
+    watchdog = start_loop_watchdog()
+    try:
+        await asyncio.sleep(0.05)
+        await handler()
+        await asyncio.sleep(0.05)
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
+
+
+def exercise() -> None:
+    asyncio.run(_main())

@@ -1,0 +1,22 @@
+"""Seeded violation: a textbook write/write data race.
+
+Two threads bump the same annotated cell with no common lock, so their
+vector clocks are incomparable and the happens-before detector reports
+the pair no matter how the scheduler happens to interleave them — the
+detection is deterministic even though the race itself is not.
+"""
+
+import threading
+
+from repro.sanitize import annotate_access
+
+
+def exercise() -> None:
+    def bump() -> None:
+        annotate_access("fixture.counter", "write")
+
+    threads = [threading.Thread(target=bump) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()

@@ -20,6 +20,11 @@ import glob
 import numpy as np
 import pytest
 
+import repro.distribute.leases as leases_mod
+import repro.distribute.sharded as sharded_mod
+import repro.engine.cache as cache_mod
+import repro.engine.engine as engine_mod
+import repro.engine.workers as workers_mod
 from repro.baselines.serial import serial_list_rank, serial_list_scan
 from repro.core.forest import forest_list_scan
 from repro.core.operators import MAX, MIN, PROD, SUM, XOR
@@ -38,6 +43,7 @@ from repro.distribute import (
 )
 from repro.engine import Engine, ScanRequest
 from repro.engine.workers import create_backend
+from repro.lint.lockorder import instrumented_locks
 from repro.lists.generate import (
     INDEX_DTYPE,
     blocked_list,
@@ -45,6 +51,23 @@ from repro.lists.generate import (
     random_list,
     reversed_list,
 )
+
+
+@pytest.fixture(autouse=True)
+def lock_order_audit():
+    """Race-audit every test: distribute + engine locks become checked.
+
+    Mirrors the engine-concurrency suite: the sharded scan's merge lock
+    and the engine locks under it are created as checked locks, any
+    lock-order violation raises inside the test, and the recorded
+    graph must be acyclic at teardown.  (No minimum-acquisitions
+    assertion — the pure partition/planning tests take no locks.)
+    """
+    with instrumented_locks(
+        sharded_mod, leases_mod, engine_mod, workers_mod, cache_mod
+    ) as graph:
+        yield graph
+    graph.assert_acyclic()
 
 
 @pytest.fixture(scope="module")

@@ -2,8 +2,8 @@
 rule selection, and the bad-fixture corpus gate.
 
 The corpus test is the same self-check CI runs: the analyzer must exit
-non-zero on ``tests/fixtures/lint_bad`` with every one of the six
-rules represented, and exit zero on the project's own ``src`` tree.
+non-zero on ``tests/fixtures/lint_bad`` with every rule in the
+catalog represented, and exit zero on the project's own ``src`` tree.
 """
 
 from __future__ import annotations
@@ -44,7 +44,7 @@ def test_every_rule_catches_its_fixture(capsys):
     assert not payload["clean"]
     flagged = {d["rule"] for d in payload["diagnostics"]}
     assert flagged == set(rule_names()), (
-        "each of the six rules must catch its bad fixture"
+        "every rule must catch its bad fixture"
     )
 
 

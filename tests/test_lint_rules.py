@@ -1,4 +1,4 @@
-"""Table-driven tests for the six project lint rules and the
+"""Table-driven tests for the project lint rules and the
 suppression machinery.
 
 Each rule gets (at least) one *bad* snippet that must produce exactly
@@ -25,9 +25,12 @@ EXPECTED_RULES = [
     "explicit-dtype",
     "fingerprint-keyed-cache",
     "injectable-clock",
+    "lock-guard-inference",
     "lock-with-only",
+    "no-blocking-in-async",
     "no-fork",
     "shm-lifecycle",
+    "shm-unlink-all-paths",
 ]
 
 
@@ -44,7 +47,7 @@ def rules_of(diagnostics) -> list[str]:
 # ---------------------------------------------------------------------------
 
 
-def test_registry_has_the_six_project_rules():
+def test_registry_has_the_project_rules():
     assert rule_names() == EXPECTED_RULES
 
 
@@ -246,6 +249,112 @@ CASES = [
                 keys[req.request_id] = key
             for req, result in zip(reqs, results):
                 cache.put(keys[req.request_id], result)
+        """,
+    ),
+    (
+        "no-blocking-in-async",
+        "src/repro/serve/handlers.py",
+        """
+        import time
+
+        async def handler(payload):
+            time.sleep(0.1)
+            return payload
+        """,
+        """
+        import asyncio
+
+        async def handler(payload):
+            await asyncio.sleep(0.1)
+            return payload
+        """,
+    ),
+    (
+        "no-blocking-in-async",
+        "src/repro/serve/handlers.py",
+        """
+        import time
+
+        def warm_up():
+            time.sleep(0.2)
+
+        async def handler(payload):
+            warm_up()
+            return payload
+        """,
+        """
+        import asyncio
+        import time
+
+        def warm_up():
+            time.sleep(0.2)
+
+        async def handler(payload):
+            await asyncio.to_thread(warm_up)
+            return payload
+        """,
+    ),
+    (
+        "shm-unlink-all-paths",
+        "src/repro/engine/transport.py",
+        """
+        from multiprocessing import shared_memory
+
+        def export(data, validate):
+            shm = shared_memory.SharedMemory(create=True, size=len(data))
+            validate(data)
+            try:
+                return shm.name
+            finally:
+                shm.close()
+                shm.unlink()
+        """,
+        """
+        from multiprocessing import shared_memory
+
+        def export(data, validate):
+            validate(data)
+            shm = shared_memory.SharedMemory(create=True, size=len(data))
+            try:
+                return shm.name
+            finally:
+                shm.close()
+                shm.unlink()
+        """,
+    ),
+    (
+        "lock-guard-inference",
+        "src/repro/engine/stats.py",
+        """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.completed = 0
+
+            def record(self, n):
+                with self._lock:
+                    self.completed += n
+
+            def reset(self):
+                self.completed = 0
+        """,
+        """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.completed = 0
+
+            def record(self, n):
+                with self._lock:
+                    self.completed += n
+
+            def reset(self):
+                with self._lock:
+                    self.completed = 0
         """,
     ),
 ]
